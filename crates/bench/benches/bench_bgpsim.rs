@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the control-plane simulator: initial
+//! convergence and failure re-convergence on a generated topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swift_bgp::Asn;
+use swift_bgpsim::Engine;
+use swift_topology::{Topology, TopologyConfig};
+
+fn bench_convergence(c: &mut Criterion) {
+    let config = TopologyConfig {
+        num_ases: 120,
+        prefixes_per_as: 5,
+        seed: 3,
+        ..Default::default()
+    };
+    let topology = Topology::generate(&config);
+    c.bench_function("bgpsim/initial_convergence_120as", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(topology.clone());
+            std::hint::black_box(e.converge().messages_processed)
+        })
+    });
+
+    let mut base = Engine::new(topology.clone());
+    base.converge();
+    let link = topology.links()[10];
+    c.bench_function("bgpsim/fail_link_reconvergence", |b| {
+        b.iter(|| {
+            let mut e = base.clone();
+            std::hint::black_box(e.fail_link(link.from, link.to).messages_processed)
+        })
+    });
+    c.bench_function("bgpsim/vantage_routing_table", |b| {
+        b.iter(|| std::hint::black_box(base.vantage_routing_table(Asn(5)).prefix_count()))
+    });
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

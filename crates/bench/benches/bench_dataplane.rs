@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks of the data-plane convergence model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swift_bgp::Prefix;
+use swift_dataplane::{pick_probes, swifted_convergence, vanilla_convergence, FibCostModel};
+
+fn bench_convergence(c: &mut Criterion) {
+    let cost = FibCostModel::default();
+    let mut group = c.benchmark_group("dataplane/vanilla_convergence");
+    for &n in &[10_000u32, 100_000] {
+        let affected: Vec<Prefix> = (0..n).map(Prefix::nth_slash24).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(vanilla_convergence(&affected, &cost).completion))
+        });
+    }
+    group.finish();
+
+    let affected: Vec<Prefix> = (0..100_000u32).map(Prefix::nth_slash24).collect();
+    c.bench_function("dataplane/swifted_convergence_100k", |b| {
+        b.iter(|| {
+            std::hint::black_box(swifted_convergence(&affected, &[], 2_500, 64, &cost).completion)
+        })
+    });
+    c.bench_function("dataplane/loss_series_100_probes", |b| {
+        let result = vanilla_convergence(&affected, &cost);
+        let probes = pick_probes(&affected, 100, 1);
+        b.iter(|| std::hint::black_box(result.loss_series(&probes).len()))
+    });
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

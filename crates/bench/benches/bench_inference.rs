@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the SWIFT inference hot path: counter updates
+//! and full inference runs at several burst sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swift_bgp::{AsPath, ElementaryEvent, Prefix};
+use swift_core::inference::{infer_links, InferenceEngine, LinkCounters};
+use swift_core::InferenceConfig;
+
+fn rib(n: u32) -> Vec<(Prefix, AsPath)> {
+    (0..n)
+        .map(|i| {
+            let path = match i % 4 {
+                0 => AsPath::new([2u32, 5, 6]),
+                1 => AsPath::new([2u32, 5, 6, 7]),
+                2 => AsPath::new([2u32, 5, 6, 8]),
+                _ => AsPath::new([2u32, 9, 10]),
+            };
+            (Prefix::nth_slash24(i), path)
+        })
+        .collect()
+}
+
+fn bench_counter_updates(c: &mut Criterion) {
+    let table = rib(50_000);
+    c.bench_function("counters/withdraw_50k", |b| {
+        b.iter(|| {
+            let mut counters = LinkCounters::from_rib(table.iter().map(|(a, b)| (a, b)));
+            for i in 0..50_000u32 {
+                counters.on_withdraw(Prefix::nth_slash24(i));
+            }
+            std::hint::black_box(counters.total_withdrawals())
+        })
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference/infer_links");
+    for &size in &[2_500u32, 10_000, 40_000] {
+        let table = rib(size * 2);
+        let mut counters = LinkCounters::from_rib(table.iter().map(|(a, b)| (a, b)));
+        for i in 0..size {
+            counters.on_withdraw(Prefix::nth_slash24(i * 2));
+        }
+        let config = InferenceConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(infer_links(&counters, &config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_stream(c: &mut Criterion) {
+    let table = rib(20_000);
+    let events: Vec<ElementaryEvent> = (0..10_000u32)
+        .map(|i| ElementaryEvent::Withdraw {
+            timestamp: u64::from(i) * 1_000,
+            prefix: Prefix::nth_slash24(i),
+        })
+        .collect();
+    c.bench_function("engine/process_10k_withdrawals", |b| {
+        b.iter(|| {
+            let mut engine = InferenceEngine::new(
+                InferenceConfig::default(),
+                table.iter().map(|(a, b)| (a, b)),
+            );
+            std::hint::black_box(engine.process_all(events.iter()).len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_counter_updates,
+    bench_inference,
+    bench_engine_stream
+);
+criterion_main!(benches);

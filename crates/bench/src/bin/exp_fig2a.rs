@@ -1,0 +1,59 @@
+//! Experiment E2 — Fig. 2(a) (§2.2.1): number of bursts a router observes per
+//! month as a function of how many peering sessions it maintains.
+//!
+//! `cargo run -p swift-bench --release --bin exp_fig2a`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swift_bench::catalog_trace_config;
+use swift_core::metrics::percentile_usize;
+use swift_traces::Corpus;
+
+fn main() {
+    let corpus = Corpus::generate(catalog_trace_config());
+    println!(
+        "Fig 2(a): bursts per month vs number of peering sessions ({} sessions, {} bursts in catalog)\n",
+        corpus.num_sessions(),
+        corpus.total_bursts()
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    let draws = 500;
+    println!(
+        "{:>9} | {:>12} | {:>26} | {:>26} | {:>26}",
+        "sessions", "min size", "median [5th, 95th] (5k)", "median [5th, 95th] (10k)", "median [5th, 95th] (25k)"
+    );
+    println!("{}", "-".repeat(110));
+    for n_sessions in [1usize, 5, 15, 30] {
+        let mut per_min: Vec<Vec<usize>> = vec![Vec::new(), Vec::new(), Vec::new()];
+        for _ in 0..draws {
+            // Random subset of sessions.
+            let mut chosen = std::collections::HashSet::new();
+            while chosen.len() < n_sessions {
+                chosen.insert(rng.gen_range(0..corpus.num_sessions()));
+            }
+            for (k, min_size) in [5_000usize, 10_000, 25_000].iter().enumerate() {
+                let count = chosen
+                    .iter()
+                    .flat_map(|s| corpus.session_meta(*s).bursts.iter())
+                    .filter(|b| b.size >= *min_size)
+                    .count();
+                per_min[k].push(count);
+            }
+        }
+        let stats = |v: &Vec<usize>| {
+            (
+                percentile_usize(v, 0.5).unwrap_or(0),
+                percentile_usize(v, 0.05).unwrap_or(0),
+                percentile_usize(v, 0.95).unwrap_or(0),
+            )
+        };
+        let (m5, lo5, hi5) = stats(&per_min[0]);
+        let (m10, lo10, hi10) = stats(&per_min[1]);
+        let (m25, lo25, hi25) = stats(&per_min[2]);
+        println!(
+            "{:>9} | {:>12} | {:>16} [{:>3}, {:>3}] | {:>16} [{:>3}, {:>3}] | {:>16} [{:>3}, {:>3}]",
+            n_sessions, "", m5, lo5, hi5, m10, lo10, hi10, m25, lo25, hi25
+        );
+    }
+    println!("\nPaper reference: a 30-session router sees ~104 bursts >= 5k and ~33 bursts >= 25k per month (median).");
+}

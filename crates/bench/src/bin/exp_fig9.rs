@@ -1,0 +1,47 @@
+//! Experiment E9 — Fig. 9(a) (§7): the case study — packet loss over time for
+//! a vanilla router vs a SWIFTED router on a 290k-prefix remote outage.
+//!
+//! `cargo run -p swift-bench --release --bin exp_fig9`
+
+use swift_bgp::{Prefix, SECOND};
+use swift_dataplane::{pick_probes, swifted_convergence, vanilla_convergence, FibCostModel};
+
+fn loss_at(series: &[(u64, f64)], t: u64) -> f64 {
+    series
+        .iter()
+        .take_while(|(ts, _)| *ts <= t)
+        .last()
+        .map(|(_, l)| *l)
+        .unwrap_or(1.0)
+}
+
+fn main() {
+    let cost = FibCostModel::default();
+    let affected: Vec<Prefix> = (0..290_000u32).map(Prefix::nth_slash24).collect();
+    let probes = pick_probes(&affected, 100, 0xcafe);
+
+    let vanilla = vanilla_convergence(&affected, &cost);
+    // The SWIFTED router triggers its inference after 2.5k withdrawals and
+    // installs 64 stage-2 rules (one per backup next-hop, as in §6.5).
+    let swifted = swifted_convergence(&affected, &[], 2_500, 64, &cost);
+
+    let vanilla_series = vanilla.loss_series(&probes);
+    let swifted_series = swifted.loss_series(&probes);
+
+    println!("Fig 9(a): packet loss over time, 290k-prefix remote outage\n");
+    println!("{:>8} | {:>14} | {:>14}", "time (s)", "BGP loss", "SWIFT loss");
+    println!("{}", "-".repeat(44));
+    for t_s in [0u64, 1, 2, 5, 10, 20, 40, 60, 80, 100, 110, 120] {
+        let t = t_s * SECOND;
+        println!(
+            "{:>8} | {:>13.0}% | {:>13.0}%",
+            t_s,
+            100.0 * loss_at(&vanilla_series, t),
+            100.0 * loss_at(&swifted_series, t)
+        );
+    }
+    let v = vanilla.completion as f64 / SECOND as f64;
+    let s = swifted.completion as f64 / SECOND as f64;
+    println!("\nConvergence time: vanilla {:.1} s, SWIFTED {:.2} s -> {:.1}% reduction", v, s, 100.0 * (1.0 - s / v));
+    println!("Paper reference: 109 s vs ~2 s, a 98% speed-up.");
+}

@@ -1,0 +1,356 @@
+//! AS numbers, AS-level links and AS paths.
+//!
+//! The SWIFT inference algorithm localises failures to *AS links* extracted from
+//! the AS paths carried in BGP messages, and the encoding scheme assigns tag bits
+//! to `(link, position-in-path)` pairs. This module provides those types, with
+//! the position conventions of the paper (§5): position *i* denotes the *i*-th
+//! link of the AS path as seen from the SWIFTED router, where position 1 is the
+//! link between the first and second ASes in the path (the link adjacent to the
+//! router's next-hop AS is "depth 0" and is handled by ordinary local
+//! fast-reroute, so SWIFT encodes positions starting at 1).
+
+use std::fmt;
+
+/// An Autonomous System number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+impl Asn {
+    /// The raw 32-bit AS number.
+    pub fn value(&self) -> u32 {
+        self.0
+    }
+}
+
+/// A directed AS-level link `(from, to)` as it appears along a forwarding path.
+///
+/// The paper writes links as ordered pairs following the direction of the AS
+/// path from the vantage point, e.g. `(5, 6)` in Fig. 1. Two helpers are
+/// provided: [`AsLink::reversed`] and [`AsLink::same_undirected`], since
+/// inference treats a link and its reverse as the same physical adjacency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsLink {
+    /// The AS closer to the vantage point along the path.
+    pub from: Asn,
+    /// The AS farther from the vantage point along the path.
+    pub to: Asn,
+}
+
+impl AsLink {
+    /// Creates a directed link.
+    pub fn new(from: impl Into<Asn>, to: impl Into<Asn>) -> Self {
+        AsLink {
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+
+    /// The same adjacency traversed in the opposite direction.
+    pub fn reversed(&self) -> AsLink {
+        AsLink {
+            from: self.to,
+            to: self.from,
+        }
+    }
+
+    /// Returns `true` if `other` is the same physical adjacency, regardless of
+    /// direction.
+    pub fn same_undirected(&self, other: &AsLink) -> bool {
+        self == other || *self == other.reversed()
+    }
+
+    /// Canonical undirected form: endpoints ordered by AS number.
+    pub fn undirected(&self) -> AsLink {
+        if self.from <= self.to {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// Returns `true` if `asn` is one of the two endpoints.
+    pub fn has_endpoint(&self, asn: Asn) -> bool {
+        self.from == asn || self.to == asn
+    }
+
+    /// The endpoint shared with `other`, if any.
+    pub fn common_endpoint(&self, other: &AsLink) -> Option<Asn> {
+        for a in [self.from, self.to] {
+            if other.has_endpoint(a) {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for AsLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.from.0, self.to.0)
+    }
+}
+
+/// An AS path: the sequence of ASes a route traverses, nearest AS first.
+///
+/// `AsPath::new([2, 5, 6])` is the path through neighbour AS 2, then AS 5, then
+/// origin AS 6 — matching the notation `(2 5 6)` in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AsPath {
+    hops: Vec<Asn>,
+}
+
+impl AsPath {
+    /// Builds a path from a sequence of AS numbers, nearest first.
+    pub fn new<I, T>(hops: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Asn>,
+    {
+        AsPath {
+            hops: hops.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The empty path (used for locally-originated routes).
+    pub fn empty() -> Self {
+        AsPath { hops: Vec::new() }
+    }
+
+    /// Number of ASes in the path.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Returns `true` if the path has no hops.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The ASes in order, nearest first.
+    pub fn hops(&self) -> &[Asn] {
+        &self.hops
+    }
+
+    /// The neighbouring AS (first hop), i.e. the BGP next-hop AS.
+    pub fn first_hop(&self) -> Option<Asn> {
+        self.hops.first().copied()
+    }
+
+    /// The origin AS (last hop).
+    pub fn origin(&self) -> Option<Asn> {
+        self.hops.last().copied()
+    }
+
+    /// Returns `true` if `asn` appears anywhere in the path.
+    pub fn contains_as(&self, asn: Asn) -> bool {
+        self.hops.contains(&asn)
+    }
+
+    /// Prepends an AS (standard BGP export behaviour).
+    pub fn prepend(&self, asn: impl Into<Asn>) -> AsPath {
+        let mut hops = Vec::with_capacity(self.hops.len() + 1);
+        hops.push(asn.into());
+        hops.extend_from_slice(&self.hops);
+        AsPath { hops }
+    }
+
+    /// Returns `true` if prepending `asn` would create an AS loop.
+    pub fn would_loop(&self, asn: Asn) -> bool {
+        self.contains_as(asn)
+    }
+
+    /// Iterates over the directed links of the path, nearest first.
+    ///
+    /// The path `(2 5 6)` yields `(2,5)` then `(5,6)`.
+    pub fn links(&self) -> impl Iterator<Item = AsLink> + '_ {
+        self.hops.windows(2).map(|w| AsLink::new(w[0], w[1]))
+    }
+
+    /// The link at 1-based position `pos` (position 1 = first link), if any.
+    ///
+    /// This matches the paper's tag layout where the first encoded bit group
+    /// represents the first link of the AS path.
+    pub fn link_at_position(&self, pos: usize) -> Option<AsLink> {
+        if pos == 0 || pos >= self.hops.len() {
+            return None;
+        }
+        Some(AsLink::new(self.hops[pos - 1], self.hops[pos]))
+    }
+
+    /// The 1-based position of the first occurrence of `link` (directed), if
+    /// the path traverses it.
+    pub fn position_of_link(&self, link: &AsLink) -> Option<usize> {
+        self.links().position(|l| l == *link).map(|i| i + 1)
+    }
+
+    /// Returns `true` if the path traverses `link` in the given direction.
+    pub fn crosses_link(&self, link: &AsLink) -> bool {
+        self.links().any(|l| l == *link)
+    }
+
+    /// Returns `true` if the path traverses the adjacency `link` in either
+    /// direction.
+    pub fn crosses_link_undirected(&self, link: &AsLink) -> bool {
+        self.links().any(|l| l.same_undirected(link))
+    }
+
+    /// Returns `true` if any of the given links is traversed (directed match).
+    pub fn crosses_any(&self, links: &[AsLink]) -> bool {
+        self.links().any(|l| links.contains(&l))
+    }
+
+    /// Returns `true` if the path visits any endpoint of `link`.
+    ///
+    /// SWIFT's safety rule (§4.2) selects backup paths avoiding *both*
+    /// endpoints of every inferred link, because the common endpoint of an
+    /// aggregated link set is not known in advance.
+    pub fn visits_endpoint_of(&self, link: &AsLink) -> bool {
+        self.contains_as(link.from) || self.contains_as(link.to)
+    }
+
+    /// Returns `true` if the path contains a repeated AS (a routing loop).
+    pub fn has_loop(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.hops.len());
+        self.hops.iter().any(|h| !seen.insert(*h))
+    }
+
+    /// Number of links in the path (`len() - 1`, or 0 for empty paths).
+    pub fn link_count(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", h.0)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<T: Into<Asn>> FromIterator<T> for AsPath {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        AsPath::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(hops: &[u32]) -> AsPath {
+        AsPath::new(hops.iter().copied())
+    }
+
+    #[test]
+    fn link_extraction_matches_paper_example() {
+        // Path (2 5 6 8): prefixes of AS 8 as seen by AS 1 in Fig. 1.
+        let p = path(&[2, 5, 6, 8]);
+        let links: Vec<_> = p.links().collect();
+        assert_eq!(
+            links,
+            vec![AsLink::new(2, 5), AsLink::new(5, 6), AsLink::new(6, 8)]
+        );
+        assert_eq!(p.link_at_position(1), Some(AsLink::new(2, 5)));
+        assert_eq!(p.link_at_position(2), Some(AsLink::new(5, 6)));
+        assert_eq!(p.link_at_position(3), Some(AsLink::new(6, 8)));
+        assert_eq!(p.link_at_position(4), None);
+        assert_eq!(p.link_at_position(0), None);
+        assert_eq!(p.position_of_link(&AsLink::new(5, 6)), Some(2));
+        assert_eq!(p.position_of_link(&AsLink::new(6, 5)), None);
+    }
+
+    #[test]
+    fn first_hop_and_origin() {
+        let p = path(&[2, 5, 6, 8]);
+        assert_eq!(p.first_hop(), Some(Asn(2)));
+        assert_eq!(p.origin(), Some(Asn(8)));
+        assert!(AsPath::empty().first_hop().is_none());
+        assert!(AsPath::empty().origin().is_none());
+    }
+
+    #[test]
+    fn prepend_and_loop_detection() {
+        let p = path(&[5, 6]);
+        let q = p.prepend(2u32);
+        assert_eq!(q, path(&[2, 5, 6]));
+        assert!(!q.has_loop());
+        assert!(q.would_loop(Asn(5)));
+        assert!(!q.would_loop(Asn(9)));
+        let looped = path(&[2, 5, 2]);
+        assert!(looped.has_loop());
+    }
+
+    #[test]
+    fn crossing_checks() {
+        let p = path(&[2, 5, 6, 8]);
+        assert!(p.crosses_link(&AsLink::new(5, 6)));
+        assert!(!p.crosses_link(&AsLink::new(6, 5)));
+        assert!(p.crosses_link_undirected(&AsLink::new(6, 5)));
+        assert!(p.crosses_any(&[AsLink::new(9, 9), AsLink::new(6, 8)]));
+        assert!(!p.crosses_any(&[AsLink::new(9, 9)]));
+        assert!(p.visits_endpoint_of(&AsLink::new(6, 99)));
+        assert!(!p.visits_endpoint_of(&AsLink::new(98, 99)));
+    }
+
+    #[test]
+    fn undirected_link_canonicalisation() {
+        let a = AsLink::new(6, 5);
+        assert_eq!(a.undirected(), AsLink::new(5, 6));
+        assert_eq!(AsLink::new(5, 6).undirected(), AsLink::new(5, 6));
+        assert!(a.same_undirected(&AsLink::new(5, 6)));
+        assert!(!a.same_undirected(&AsLink::new(5, 7)));
+    }
+
+    #[test]
+    fn common_endpoint() {
+        let a = AsLink::new(5, 6);
+        let b = AsLink::new(6, 8);
+        let c = AsLink::new(1, 2);
+        assert_eq!(a.common_endpoint(&b), Some(Asn(6)));
+        assert_eq!(a.common_endpoint(&c), None);
+        assert!(a.has_endpoint(Asn(5)));
+        assert!(!a.has_endpoint(Asn(7)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Asn(65000).to_string(), "AS65000");
+        assert_eq!(AsLink::new(5, 6).to_string(), "(5, 6)");
+        assert_eq!(path(&[2, 5, 6]).to_string(), "(2 5 6)");
+        assert_eq!(AsPath::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn link_count_and_len() {
+        assert_eq!(path(&[2, 5, 6]).link_count(), 2);
+        assert_eq!(path(&[2]).link_count(), 0);
+        assert_eq!(AsPath::empty().link_count(), 0);
+        assert_eq!(path(&[2, 5, 6]).len(), 3);
+        assert!(!path(&[2]).is_empty());
+        assert!(AsPath::empty().is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: AsPath = [1u32, 2, 3].into_iter().collect();
+        assert_eq!(p, path(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,51 @@
+//! # swift-bgp
+//!
+//! BGP substrate for the SWIFT reproduction (SIGCOMM 2017).
+//!
+//! This crate provides the inter-domain routing primitives every other crate in
+//! the workspace builds on:
+//!
+//! * [`Prefix`] — IPv4 prefixes with parsing, containment and iteration helpers.
+//! * [`Asn`] / [`AsLink`] / [`AsPath`] — AS numbers, directed AS-level links and
+//!   AS paths (including link extraction by position, which the SWIFT encoding
+//!   scheme relies on).
+//! * [`RouteAttributes`] and [`BgpMessage`] — the subset of BGP path attributes
+//!   and UPDATE/WITHDRAW semantics the paper's algorithms consume.
+//! * [`AdjRibIn`], [`LocRib`] and [`RoutingTable`] — per-peer and router-wide
+//!   routing state with standard best-path selection.
+//! * [`MessageStream`] and [`Session`] — timestamped per-session message streams,
+//!   the exact input shape of the SWIFT inference algorithm (§4 of the paper).
+//!
+//! The crate is dependency-free and fully deterministic; all timestamps are
+//! virtual microseconds ([`Timestamp`]).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod as_path;
+pub mod attributes;
+pub mod message;
+pub mod prefix;
+pub mod rib;
+pub mod session;
+pub mod table;
+
+pub use as_path::{AsLink, AsPath, Asn};
+pub use attributes::{Community, Origin, RouteAttributes};
+pub use message::{BgpMessage, ElementaryEvent, MessageKind};
+pub use prefix::{Prefix, PrefixError, PrefixSet};
+pub use rib::{AdjRibIn, LocRib, Route};
+pub use session::{MessageStream, PeerId, Session, SessionId};
+pub use table::RoutingTable;
+
+/// Virtual time in microseconds since the start of a trace or simulation.
+///
+/// The whole workspace uses virtual time rather than wall-clock time so that
+/// experiments are deterministic and tests run instantly.
+pub type Timestamp = u64;
+
+/// One second expressed in [`Timestamp`] units (microseconds).
+pub const SECOND: Timestamp = 1_000_000;
+
+/// One millisecond expressed in [`Timestamp`] units (microseconds).
+pub const MILLISECOND: Timestamp = 1_000;

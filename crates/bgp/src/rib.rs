@@ -1,0 +1,392 @@
+//! Routing Information Bases.
+//!
+//! * [`AdjRibIn`] — the per-peer RIB: what one neighbour currently announces.
+//! * [`LocRib`] — the router-wide RIB: all candidate routes per prefix plus the
+//!   standard BGP decision process selecting the best one.
+//!
+//! SWIFT needs both views: the inference algorithm's `W(l,t)` / `P(l,t)`
+//! counters are defined over the paths announced on *one* session (the per-peer
+//! view), whereas backup next-hop computation (§5) needs the alternative routes
+//! announced by *other* peers (the router-wide view, see
+//! [`crate::table::RoutingTable`]).
+
+use crate::as_path::{AsLink, AsPath};
+use crate::attributes::RouteAttributes;
+use crate::message::ElementaryEvent;
+use crate::prefix::Prefix;
+use crate::session::PeerId;
+use crate::Timestamp;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+
+/// A route for one prefix learned from one peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// The peer the route was learned from.
+    pub peer: PeerId,
+    /// The route's path attributes.
+    pub attrs: RouteAttributes,
+    /// When the route was last announced.
+    pub learned_at: Timestamp,
+}
+
+impl Route {
+    /// Creates a route.
+    pub fn new(peer: PeerId, attrs: RouteAttributes, learned_at: Timestamp) -> Self {
+        Route {
+            peer,
+            attrs,
+            learned_at,
+        }
+    }
+
+    /// The route's AS path.
+    pub fn as_path(&self) -> &AsPath {
+        &self.attrs.as_path
+    }
+
+    /// Compares two routes with the standard BGP decision process:
+    /// 1. highest LOCAL_PREF,
+    /// 2. shortest AS path,
+    /// 3. lowest ORIGIN rank,
+    /// 4. lowest MED,
+    /// 5. oldest route,
+    /// 6. lowest peer identifier (stand-in for lowest router ID).
+    ///
+    /// Returns [`Ordering::Greater`] if `self` is preferred over `other`.
+    pub fn compare_preference(&self, other: &Route) -> Ordering {
+        self.attrs
+            .effective_local_pref()
+            .cmp(&other.attrs.effective_local_pref())
+            .then_with(|| {
+                other
+                    .attrs
+                    .as_path
+                    .len()
+                    .cmp(&self.attrs.as_path.len())
+            })
+            .then_with(|| other.attrs.origin.rank().cmp(&self.attrs.origin.rank()))
+            .then_with(|| {
+                other
+                    .attrs
+                    .effective_med()
+                    .cmp(&self.attrs.effective_med())
+            })
+            .then_with(|| other.learned_at.cmp(&self.learned_at))
+            .then_with(|| other.peer.cmp(&self.peer))
+    }
+}
+
+/// The Adjacency-RIB-In of one peering session: prefix → route announced by
+/// that peer.
+#[derive(Debug, Clone, Default)]
+pub struct AdjRibIn {
+    routes: BTreeMap<Prefix, Route>,
+}
+
+impl AdjRibIn {
+    /// Creates an empty per-peer RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes currently announced by the peer.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Returns `true` if the peer announces nothing.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The route for `prefix`, if announced.
+    pub fn get(&self, prefix: &Prefix) -> Option<&Route> {
+        self.routes.get(prefix)
+    }
+
+    /// Installs or replaces the route for a prefix. Returns the previous route
+    /// if the prefix was already announced (an implicit withdrawal).
+    pub fn announce(&mut self, prefix: Prefix, route: Route) -> Option<Route> {
+        self.routes.insert(prefix, route)
+    }
+
+    /// Removes the route for a prefix. Returns the removed route if present.
+    pub fn withdraw(&mut self, prefix: &Prefix) -> Option<Route> {
+        self.routes.remove(prefix)
+    }
+
+    /// Applies a per-prefix event coming from this peer.
+    pub fn apply(&mut self, peer: PeerId, event: &ElementaryEvent) -> Option<Route> {
+        match event {
+            ElementaryEvent::Announce {
+                timestamp,
+                prefix,
+                attrs,
+            } => self.announce(*prefix, Route::new(peer, attrs.clone(), *timestamp)),
+            ElementaryEvent::Withdraw { prefix, .. } => self.withdraw(prefix),
+        }
+    }
+
+    /// Iterates over `(prefix, route)` pairs in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &Route)> {
+        self.routes.iter()
+    }
+
+    /// Iterates over the announced prefixes.
+    pub fn prefixes(&self) -> impl Iterator<Item = &Prefix> {
+        self.routes.keys()
+    }
+
+    /// Number of announced prefixes whose AS path traverses `link` (directed).
+    pub fn prefixes_via_link(&self, link: &AsLink) -> usize {
+        self.routes
+            .values()
+            .filter(|r| r.as_path().crosses_link(link))
+            .count()
+    }
+
+    /// Collects the prefixes whose AS path traverses `link` (directed).
+    pub fn prefix_set_via_link(&self, link: &AsLink) -> Vec<Prefix> {
+        self.routes
+            .iter()
+            .filter(|(_, r)| r.as_path().crosses_link(link))
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+/// The router-wide RIB: all candidate routes per prefix, from all peers, with
+/// best-path selection.
+#[derive(Debug, Clone, Default)]
+pub struct LocRib {
+    /// prefix → (peer → route)
+    candidates: BTreeMap<Prefix, HashMap<PeerId, Route>>,
+}
+
+impl LocRib {
+    /// Creates an empty Loc-RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes with at least one candidate route.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Returns `true` if no prefix has any route.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Installs or replaces the route announced by `route.peer` for `prefix`.
+    pub fn announce(&mut self, prefix: Prefix, route: Route) {
+        self.candidates
+            .entry(prefix)
+            .or_default()
+            .insert(route.peer, route);
+    }
+
+    /// Removes the route announced by `peer` for `prefix`.
+    pub fn withdraw(&mut self, prefix: &Prefix, peer: PeerId) -> Option<Route> {
+        let removed = self.candidates.get_mut(prefix)?.remove(&peer);
+        if self
+            .candidates
+            .get(prefix)
+            .map(|m| m.is_empty())
+            .unwrap_or(false)
+        {
+            self.candidates.remove(prefix);
+        }
+        removed
+    }
+
+    /// Applies a per-prefix event received from `peer`.
+    pub fn apply(&mut self, peer: PeerId, event: &ElementaryEvent) {
+        match event {
+            ElementaryEvent::Announce {
+                timestamp,
+                prefix,
+                attrs,
+            } => self.announce(*prefix, Route::new(peer, attrs.clone(), *timestamp)),
+            ElementaryEvent::Withdraw { prefix, .. } => {
+                self.withdraw(prefix, peer);
+            }
+        }
+    }
+
+    /// All candidate routes for a prefix (unordered).
+    pub fn candidates(&self, prefix: &Prefix) -> impl Iterator<Item = &Route> {
+        self.candidates.get(prefix).into_iter().flat_map(|m| m.values())
+    }
+
+    /// The best route for a prefix under the BGP decision process.
+    pub fn best(&self, prefix: &Prefix) -> Option<&Route> {
+        self.candidates(prefix)
+            .max_by(|a, b| a.compare_preference(b))
+    }
+
+    /// The best route excluding those learned from `excluded` peer.
+    pub fn best_excluding(&self, prefix: &Prefix, excluded: PeerId) -> Option<&Route> {
+        self.candidates(prefix)
+            .filter(|r| r.peer != excluded)
+            .max_by(|a, b| a.compare_preference(b))
+    }
+
+    /// Iterates over all prefixes known to the Loc-RIB.
+    pub fn prefixes(&self) -> impl Iterator<Item = &Prefix> {
+        self.candidates.keys()
+    }
+
+    /// Iterates over `(prefix, best route)` for every prefix that has a best.
+    pub fn best_routes(&self) -> impl Iterator<Item = (&Prefix, &Route)> {
+        self.candidates
+            .keys()
+            .filter_map(move |p| self.best(p).map(|r| (p, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::as_path::AsPath;
+
+    fn p(i: u32) -> Prefix {
+        Prefix::nth_slash24(i)
+    }
+
+    fn route(peer: u32, hops: &[u32], lp: Option<u32>, t: Timestamp) -> Route {
+        let mut attrs = RouteAttributes::from_path(AsPath::new(hops.iter().copied()));
+        attrs.local_pref = lp;
+        Route::new(PeerId(peer), attrs, t)
+    }
+
+    #[test]
+    fn adj_rib_announce_withdraw_roundtrip() {
+        let mut rib = AdjRibIn::new();
+        assert!(rib.is_empty());
+        assert!(rib.announce(p(1), route(1, &[2, 5, 6], None, 0)).is_none());
+        assert_eq!(rib.len(), 1);
+        // Re-announcement returns the implicit withdrawal.
+        let old = rib.announce(p(1), route(1, &[3, 6], None, 5));
+        assert!(old.is_some());
+        assert_eq!(old.unwrap().as_path(), &AsPath::new([2u32, 5, 6]));
+        assert!(rib.withdraw(&p(1)).is_some());
+        assert!(rib.withdraw(&p(1)).is_none());
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn adj_rib_link_queries() {
+        let mut rib = AdjRibIn::new();
+        rib.announce(p(1), route(1, &[2, 5, 6], None, 0));
+        rib.announce(p(2), route(1, &[2, 5, 6, 8], None, 0));
+        rib.announce(p(3), route(1, &[2, 5, 7], None, 0));
+        assert_eq!(rib.prefixes_via_link(&AsLink::new(5, 6)), 2);
+        assert_eq!(rib.prefixes_via_link(&AsLink::new(2, 5)), 3);
+        assert_eq!(rib.prefixes_via_link(&AsLink::new(6, 8)), 1);
+        assert_eq!(rib.prefixes_via_link(&AsLink::new(9, 9)), 0);
+        let via = rib.prefix_set_via_link(&AsLink::new(5, 6));
+        assert_eq!(via, vec![p(1), p(2)]);
+    }
+
+    #[test]
+    fn decision_process_local_pref_dominates() {
+        let short_low = route(1, &[2, 6], Some(50), 0);
+        let long_high = route(2, &[3, 4, 5, 6], Some(200), 0);
+        assert_eq!(long_high.compare_preference(&short_low), Ordering::Greater);
+    }
+
+    #[test]
+    fn decision_process_path_length_then_origin_then_med() {
+        let a = route(1, &[2, 6], None, 0);
+        let b = route(2, &[3, 4, 6], None, 0);
+        assert_eq!(a.compare_preference(&b), Ordering::Greater);
+
+        let mut igp = route(1, &[2, 6], None, 0);
+        igp.attrs.origin = crate::attributes::Origin::Igp;
+        let mut incomplete = route(2, &[3, 6], None, 0);
+        incomplete.attrs.origin = crate::attributes::Origin::Incomplete;
+        assert_eq!(igp.compare_preference(&incomplete), Ordering::Greater);
+
+        let low_med = route(1, &[2, 6], None, 0).attrs.with_med(5);
+        let high_med = route(2, &[3, 6], None, 0).attrs.with_med(50);
+        let low = Route::new(PeerId(1), low_med, 0);
+        let high = Route::new(PeerId(2), high_med, 0);
+        assert_eq!(low.compare_preference(&high), Ordering::Greater);
+    }
+
+    #[test]
+    fn decision_process_tiebreaks_on_age_then_peer() {
+        let older = route(2, &[2, 6], None, 10);
+        let newer = route(1, &[3, 6], None, 20);
+        assert_eq!(older.compare_preference(&newer), Ordering::Greater);
+
+        let peer_low = route(1, &[2, 6], None, 10);
+        let peer_high = route(2, &[3, 6], None, 10);
+        assert_eq!(peer_low.compare_preference(&peer_high), Ordering::Greater);
+    }
+
+    #[test]
+    fn loc_rib_best_and_best_excluding() {
+        let mut rib = LocRib::new();
+        rib.announce(p(1), route(1, &[2, 5, 6], None, 0));
+        rib.announce(p(1), route(2, &[3, 6], None, 0));
+        rib.announce(p(1), route(3, &[4, 5, 6], None, 0));
+        // Peer 2 has the shortest path.
+        assert_eq!(rib.best(&p(1)).unwrap().peer, PeerId(2));
+        // Excluding peer 2, peers 1 and 3 tie on length; lowest peer id wins.
+        assert_eq!(rib.best_excluding(&p(1), PeerId(2)).unwrap().peer, PeerId(1));
+        assert_eq!(rib.candidates(&p(1)).count(), 3);
+    }
+
+    #[test]
+    fn loc_rib_withdraw_cleans_up() {
+        let mut rib = LocRib::new();
+        rib.announce(p(1), route(1, &[2, 6], None, 0));
+        rib.announce(p(1), route(2, &[3, 6], None, 0));
+        assert_eq!(rib.len(), 1);
+        assert!(rib.withdraw(&p(1), PeerId(1)).is_some());
+        assert!(rib.withdraw(&p(1), PeerId(1)).is_none());
+        assert_eq!(rib.best(&p(1)).unwrap().peer, PeerId(2));
+        rib.withdraw(&p(1), PeerId(2));
+        assert!(rib.is_empty());
+        assert!(rib.best(&p(1)).is_none());
+    }
+
+    #[test]
+    fn loc_rib_apply_events() {
+        let mut rib = LocRib::new();
+        let attrs = RouteAttributes::from_path(AsPath::new([2u32, 6]));
+        rib.apply(
+            PeerId(1),
+            &ElementaryEvent::Announce {
+                timestamp: 1,
+                prefix: p(1),
+                attrs,
+            },
+        );
+        assert_eq!(rib.len(), 1);
+        rib.apply(
+            PeerId(1),
+            &ElementaryEvent::Withdraw {
+                timestamp: 2,
+                prefix: p(1),
+            },
+        );
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn best_routes_iterates_all() {
+        let mut rib = LocRib::new();
+        for i in 0..5 {
+            rib.announce(p(i), route(1, &[2, 6], None, 0));
+            rib.announce(p(i), route(2, &[3, 4, 6], None, 0));
+        }
+        let bests: Vec<_> = rib.best_routes().collect();
+        assert_eq!(bests.len(), 5);
+        assert!(bests.iter().all(|(_, r)| r.peer == PeerId(1)));
+    }
+}

@@ -1,0 +1,341 @@
+//! Router-wide routing table: the view a SWIFTED border router has of the
+//! world.
+//!
+//! [`RoutingTable`] combines the per-peer Adj-RIB-Ins with best-path selection
+//! and offers the queries the SWIFT algorithms are built on:
+//!
+//! * which prefixes are currently forwarded over a given AS link, and at which
+//!   position of their AS path (used both by the inference counters and by the
+//!   encoding scheme's bit allocation);
+//! * which peers offer an alternate path for a prefix that avoids a given set
+//!   of ASes (used by backup next-hop computation, §5).
+
+use crate::as_path::{AsLink, Asn};
+use crate::message::ElementaryEvent;
+use crate::prefix::Prefix;
+use crate::rib::{AdjRibIn, LocRib, Route};
+use crate::session::PeerId;
+use std::collections::{BTreeMap, HashMap};
+
+/// The router-wide routing state: one [`AdjRibIn`] per peer plus a [`LocRib`].
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    peers: BTreeMap<PeerId, PeerState>,
+    loc_rib: LocRib,
+}
+
+/// Per-peer state held by the routing table.
+#[derive(Debug, Clone)]
+struct PeerState {
+    asn: Asn,
+    rib: AdjRibIn,
+}
+
+impl RoutingTable {
+    /// Creates an empty routing table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a peer (idempotent). Messages from unknown peers are rejected
+    /// by [`RoutingTable::apply`].
+    pub fn add_peer(&mut self, peer: PeerId, asn: Asn) {
+        self.peers.entry(peer).or_insert(PeerState {
+            asn,
+            rib: AdjRibIn::new(),
+        });
+    }
+
+    /// The AS number of a registered peer.
+    pub fn peer_asn(&self, peer: PeerId) -> Option<Asn> {
+        self.peers.get(&peer).map(|s| s.asn)
+    }
+
+    /// The registered peers, in id order.
+    pub fn peers(&self) -> impl Iterator<Item = (PeerId, Asn)> + '_ {
+        self.peers.iter().map(|(p, s)| (*p, s.asn))
+    }
+
+    /// Number of registered peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The per-peer RIB of a registered peer.
+    pub fn adj_rib_in(&self, peer: PeerId) -> Option<&AdjRibIn> {
+        self.peers.get(&peer).map(|s| &s.rib)
+    }
+
+    /// The router-wide Loc-RIB.
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// Applies a per-prefix event received from `peer`.
+    ///
+    /// Returns `false` (and changes nothing) if the peer is not registered.
+    pub fn apply(&mut self, peer: PeerId, event: &ElementaryEvent) -> bool {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return false;
+        };
+        state.rib.apply(peer, event);
+        self.loc_rib.apply(peer, event);
+        true
+    }
+
+    /// Bulk-announces a prefix from a peer (convenience used by generators).
+    pub fn announce(&mut self, peer: PeerId, prefix: Prefix, route: Route) -> bool {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return false;
+        };
+        state.rib.announce(prefix, route.clone());
+        self.loc_rib.announce(prefix, route);
+        true
+    }
+
+    /// Total number of prefixes with at least one route.
+    pub fn prefix_count(&self) -> usize {
+        self.loc_rib.len()
+    }
+
+    /// The best route for a prefix.
+    pub fn best(&self, prefix: &Prefix) -> Option<&Route> {
+        self.loc_rib.best(prefix)
+    }
+
+    /// The best route for a prefix among routes from peers other than `peer`.
+    pub fn best_excluding(&self, prefix: &Prefix, peer: PeerId) -> Option<&Route> {
+        self.loc_rib.best_excluding(prefix, peer)
+    }
+
+    /// All candidate routes for a prefix.
+    pub fn candidates(&self, prefix: &Prefix) -> impl Iterator<Item = &Route> {
+        self.loc_rib.candidates(prefix)
+    }
+
+    /// Iterates over `(prefix, best route)` pairs.
+    pub fn best_routes(&self) -> impl Iterator<Item = (&Prefix, &Route)> {
+        self.loc_rib.best_routes()
+    }
+
+    /// Counts, for every directed AS link appearing in the best paths learned
+    /// from `peer`, how many of that peer's prefixes traverse it.
+    ///
+    /// This is the `W(l,t) + P(l,t)` denominator basis of the Path Share metric
+    /// and the per-link prefix counts the encoding scheme prioritises on.
+    pub fn link_prefix_counts(&self, peer: PeerId) -> HashMap<AsLink, usize> {
+        let mut counts: HashMap<AsLink, usize> = HashMap::new();
+        if let Some(state) = self.peers.get(&peer) {
+            for (_, route) in state.rib.iter() {
+                for link in route.as_path().links() {
+                    *counts.entry(link).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Counts, for every `(position, link)` pair appearing in the best paths
+    /// learned from `peer`, how many prefixes use that link at that 1-based
+    /// position. Used by the encoding scheme's per-position bit allocation.
+    pub fn positional_link_counts(&self, peer: PeerId) -> HashMap<(usize, AsLink), usize> {
+        let mut counts: HashMap<(usize, AsLink), usize> = HashMap::new();
+        if let Some(state) = self.peers.get(&peer) {
+            for (_, route) in state.rib.iter() {
+                for (i, link) in route.as_path().links().enumerate() {
+                    *counts.entry((i + 1, link)).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The prefixes announced by `peer` whose path traverses any of `links`
+    /// (directed match).
+    pub fn prefixes_via_links(&self, peer: PeerId, links: &[AsLink]) -> Vec<Prefix> {
+        match self.peers.get(&peer) {
+            None => Vec::new(),
+            Some(state) => state
+                .rib
+                .iter()
+                .filter(|(_, r)| r.as_path().crosses_any(links))
+                .map(|(p, _)| *p)
+                .collect(),
+        }
+    }
+
+    /// Finds, for `prefix`, the most preferred alternative route whose AS path
+    /// avoids every AS in `avoid_ases`, excluding routes learned from
+    /// `exclude_peer`. Returns `None` if no such route exists.
+    ///
+    /// This implements the path-eligibility core of SWIFT's backup next-hop
+    /// selection: the chosen backup must not traverse either endpoint of any
+    /// inferred link (§4.2 safety rule).
+    pub fn alternative_avoiding(
+        &self,
+        prefix: &Prefix,
+        exclude_peer: PeerId,
+        avoid_ases: &[Asn],
+    ) -> Option<&Route> {
+        self.loc_rib
+            .candidates(prefix)
+            .filter(|r| r.peer != exclude_peer)
+            .filter(|r| !avoid_ases.iter().any(|a| r.as_path().contains_as(*a)))
+            .max_by(|a, b| a.compare_preference(b))
+    }
+
+    /// All prefixes known to the table.
+    pub fn prefixes(&self) -> impl Iterator<Item = &Prefix> {
+        self.loc_rib.prefixes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::as_path::AsPath;
+    use crate::attributes::RouteAttributes;
+
+    fn p(i: u32) -> Prefix {
+        Prefix::nth_slash24(i)
+    }
+
+    fn route(peer: u32, hops: &[u32]) -> Route {
+        Route::new(
+            PeerId(peer),
+            RouteAttributes::from_path(AsPath::new(hops.iter().copied())),
+            0,
+        )
+    }
+
+    /// Builds the Fig. 1 routing table of the paper as seen by the AS 1 router:
+    /// peers AS 2 (peer 2), AS 3 (peer 3) and AS 4 (peer 4). AS 6/7/8 originate
+    /// prefixes; the best paths go through AS 2.
+    fn fig1_table() -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.add_peer(PeerId(2), Asn(2));
+        t.add_peer(PeerId(3), Asn(3));
+        t.add_peer(PeerId(4), Asn(4));
+
+        // Prefixes of AS 6 (indices 0..10): best (2 5 6), alt (4 5 6), alt (3 6).
+        for i in 0..10 {
+            t.announce(PeerId(2), p(i), route(2, &[2, 5, 6]));
+            t.announce(PeerId(4), p(i), route(4, &[4, 5, 6]));
+            t.announce(PeerId(3), p(i), route(3, &[3, 6]));
+        }
+        // Prefixes of AS 7 (indices 10..20): best (2 5 6 7), alt (3 6 7).
+        for i in 10..20 {
+            t.announce(PeerId(2), p(i), route(2, &[2, 5, 6, 7]));
+            t.announce(PeerId(3), p(i), route(3, &[3, 6, 7]));
+        }
+        // Prefixes of AS 8 (indices 20..30): best (2 5 6 8), alt (3 6 8).
+        for i in 20..30 {
+            t.announce(PeerId(2), p(i), route(2, &[2, 5, 6, 8]));
+            t.announce(PeerId(3), p(i), route(3, &[3, 6, 8]));
+        }
+        t
+    }
+
+    #[test]
+    fn apply_requires_registered_peer() {
+        let mut t = RoutingTable::new();
+        let ev = ElementaryEvent::Withdraw {
+            timestamp: 0,
+            prefix: p(0),
+        };
+        assert!(!t.apply(PeerId(9), &ev));
+        t.add_peer(PeerId(9), Asn(9));
+        assert!(t.apply(PeerId(9), &ev));
+    }
+
+    #[test]
+    fn peer_registration_and_lookup() {
+        let t = fig1_table();
+        assert_eq!(t.peer_count(), 3);
+        assert_eq!(t.peer_asn(PeerId(2)), Some(Asn(2)));
+        assert_eq!(t.peer_asn(PeerId(99)), None);
+        assert_eq!(t.prefix_count(), 30);
+        assert_eq!(t.adj_rib_in(PeerId(2)).unwrap().len(), 30);
+        assert_eq!(t.adj_rib_in(PeerId(3)).unwrap().len(), 30);
+        assert_eq!(t.adj_rib_in(PeerId(4)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn link_prefix_counts_match_fig1() {
+        let t = fig1_table();
+        let counts = t.link_prefix_counts(PeerId(2));
+        assert_eq!(counts[&AsLink::new(2, 5)], 30);
+        assert_eq!(counts[&AsLink::new(5, 6)], 30);
+        assert_eq!(counts[&AsLink::new(6, 7)], 10);
+        assert_eq!(counts[&AsLink::new(6, 8)], 10);
+        assert!(!counts.contains_key(&AsLink::new(3, 6)));
+    }
+
+    #[test]
+    fn positional_link_counts_match_fig1() {
+        let t = fig1_table();
+        let counts = t.positional_link_counts(PeerId(2));
+        assert_eq!(counts[&(1, AsLink::new(2, 5))], 30);
+        assert_eq!(counts[&(2, AsLink::new(5, 6))], 30);
+        assert_eq!(counts[&(3, AsLink::new(6, 7))], 10);
+        assert_eq!(counts[&(3, AsLink::new(6, 8))], 10);
+        assert!(!counts.contains_key(&(1, AsLink::new(5, 6))));
+    }
+
+    #[test]
+    fn prefixes_via_links_matches_affected_set() {
+        let t = fig1_table();
+        let affected = t.prefixes_via_links(PeerId(2), &[AsLink::new(5, 6)]);
+        assert_eq!(affected.len(), 30);
+        let only_as8 = t.prefixes_via_links(PeerId(2), &[AsLink::new(6, 8)]);
+        assert_eq!(only_as8.len(), 10);
+        assert!(t
+            .prefixes_via_links(PeerId(2), &[AsLink::new(9, 9)])
+            .is_empty());
+    }
+
+    #[test]
+    fn alternative_avoiding_respects_avoid_list() {
+        let t = fig1_table();
+        // For an AS 6 prefix, avoiding ASes {5, 6} leaves nothing (all alternates
+        // reach AS 6); avoiding only AS 5 leaves the (3 6) route.
+        let pref = p(0);
+        let alt = t
+            .alternative_avoiding(&pref, PeerId(2), &[Asn(5)])
+            .expect("should find (3 6)");
+        assert_eq!(alt.peer, PeerId(3));
+        assert!(t
+            .alternative_avoiding(&pref, PeerId(2), &[Asn(5), Asn(6)])
+            .is_none());
+        // For an AS 7 prefix, avoiding both endpoints of (5,6) still leaves (3 6 7)?
+        // No: that path visits AS 6. Avoiding only AS 5 works.
+        let alt7 = t
+            .alternative_avoiding(&p(10), PeerId(2), &[Asn(5)])
+            .expect("should find (3 6 7)");
+        assert_eq!(alt7.peer, PeerId(3));
+    }
+
+    #[test]
+    fn best_route_prefers_shortest_path() {
+        let t = fig1_table();
+        // For AS 6 prefixes, (3 6) is shorter than (2 5 6).
+        assert_eq!(t.best(&p(0)).unwrap().peer, PeerId(3));
+        // Excluding peer 3, (2 5 6) and (4 5 6) tie; lowest peer id wins.
+        assert_eq!(t.best_excluding(&p(0), PeerId(3)).unwrap().peer, PeerId(2));
+        assert_eq!(t.candidates(&p(0)).count(), 3);
+    }
+
+    #[test]
+    fn withdrawal_updates_both_ribs() {
+        let mut t = fig1_table();
+        let ev = ElementaryEvent::Withdraw {
+            timestamp: 10,
+            prefix: p(0),
+        };
+        assert!(t.apply(PeerId(2), &ev));
+        assert_eq!(t.adj_rib_in(PeerId(2)).unwrap().len(), 29);
+        // Loc-RIB still has routes from peers 3 and 4 for p(0).
+        assert_eq!(t.candidates(&p(0)).count(), 2);
+        assert_eq!(t.prefix_count(), 30);
+    }
+}

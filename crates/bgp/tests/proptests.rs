@@ -1,0 +1,130 @@
+//! Property-based tests for the BGP substrate.
+
+use proptest::prelude::*;
+use swift_bgp::{AsLink, AsPath, Asn, BgpMessage, MessageStream, Prefix, PrefixSet};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(addr, len).unwrap())
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    proptest::collection::vec(1u32..10_000, 0..12).prop_map(AsPath::new)
+}
+
+proptest! {
+    /// Display → parse is the identity on canonical prefixes.
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let parsed: Prefix = s.parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    /// A prefix always contains itself, and containment implies overlap.
+    #[test]
+    fn prefix_contains_self_and_overlap(a in arb_prefix(), b in arb_prefix()) {
+        prop_assert!(a.contains(&a));
+        if a.contains(&b) {
+            prop_assert!(a.overlaps(&b));
+            prop_assert!(b.len() >= a.len());
+        }
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    /// Splitting a prefix yields two children whose parent is the original and
+    /// which together cover exactly the original address space.
+    #[test]
+    fn prefix_split_parent_inverse(p in (any::<u32>(), 0u8..32).prop_map(|(a, l)| Prefix::new(a, l).unwrap())) {
+        let (lo, hi) = p.split().unwrap();
+        prop_assert_eq!(lo.parent(), Some(p));
+        prop_assert_eq!(hi.parent(), Some(p));
+        prop_assert!(p.contains(&lo) && p.contains(&hi));
+        prop_assert_eq!(lo.size() + hi.size(), p.size());
+        prop_assert!(!lo.overlaps(&hi));
+    }
+
+    /// The links of a path have length len-1 and chain correctly.
+    #[test]
+    fn as_path_links_chain(path in arb_as_path()) {
+        let links: Vec<AsLink> = path.links().collect();
+        prop_assert_eq!(links.len(), path.link_count());
+        for w in links.windows(2) {
+            prop_assert_eq!(w[0].to, w[1].from);
+        }
+        for (i, l) in links.iter().enumerate() {
+            prop_assert_eq!(path.link_at_position(i + 1), Some(*l));
+            prop_assert!(path.crosses_link(l));
+            prop_assert!(path.visits_endpoint_of(l));
+        }
+    }
+
+    /// Prepending preserves the suffix and adds exactly one hop.
+    #[test]
+    fn as_path_prepend(path in arb_as_path(), asn in 1u32..10_000) {
+        let q = path.prepend(asn);
+        prop_assert_eq!(q.len(), path.len() + 1);
+        prop_assert_eq!(q.first_hop(), Some(Asn(asn)));
+        prop_assert_eq!(&q.hops()[1..], path.hops());
+    }
+
+    /// PrefixSet intersection/difference cardinalities are consistent.
+    #[test]
+    fn prefix_set_cardinalities(
+        a in proptest::collection::btree_set(0u32..5_000, 0..200),
+        b in proptest::collection::btree_set(0u32..5_000, 0..200),
+    ) {
+        let sa: PrefixSet = a.iter().map(|i| Prefix::nth_slash24(*i)).collect();
+        let sb: PrefixSet = b.iter().map(|i| Prefix::nth_slash24(*i)).collect();
+        let inter = sa.intersection_len(&sb);
+        prop_assert_eq!(inter, sb.intersection_len(&sa));
+        prop_assert_eq!(sa.difference_len(&sb) + inter, sa.len());
+        prop_assert_eq!(sa.union(&sb).len(), sa.len() + sb.len() - inter);
+    }
+
+    /// A message stream built from arbitrarily-ordered messages is sorted and
+    /// conserves the withdrawal count.
+    #[test]
+    fn stream_is_sorted_and_conserves_counts(
+        times in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let msgs: Vec<BgpMessage> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| BgpMessage::withdraw(*t, Prefix::nth_slash24(i as u32)))
+            .collect();
+        let n = msgs.len();
+        let stream = MessageStream::from_messages(msgs.clone());
+        prop_assert_eq!(stream.total_withdrawals(), n);
+        let ts: Vec<_> = stream.messages().iter().map(|m| m.timestamp).collect();
+        let mut sorted = ts.clone();
+        sorted.sort();
+        prop_assert_eq!(ts, sorted);
+
+        // Pushing one-by-one gives the same multiset of timestamps.
+        let mut incremental = MessageStream::new();
+        for m in msgs {
+            incremental.push(m);
+        }
+        prop_assert_eq!(incremental.total_withdrawals(), n);
+        prop_assert_eq!(incremental.start(), stream.start());
+        prop_assert_eq!(incremental.end(), stream.end());
+    }
+
+    /// Windowed withdrawal counts partition the total.
+    #[test]
+    fn window_counts_partition(
+        times in proptest::collection::vec(0u64..10_000, 1..200),
+        cut in 0u64..10_000,
+    ) {
+        let msgs: Vec<BgpMessage> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| BgpMessage::withdraw(*t, Prefix::nth_slash24(i as u32)))
+            .collect();
+        let stream = MessageStream::from_messages(msgs);
+        let total = stream.total_withdrawals();
+        let before = stream.withdrawals_in_window(0, cut);
+        let after = stream.withdrawals_in_window(cut, 10_001);
+        prop_assert_eq!(before + after, total);
+    }
+}

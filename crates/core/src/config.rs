@@ -1,0 +1,221 @@
+//! Configuration of the SWIFT algorithms.
+//!
+//! Defaults reproduce the values used in the paper: WS weighted three times
+//! more than PS (§4.2 calibration), a 2,500-withdrawal triggering threshold,
+//! the burst start/stop thresholds of §2.2.1 (1,500 / 9 withdrawals over a 10 s
+//! window — the 99.99th / 90th percentiles of the measured per-window counts),
+//! and the prediction-plausibility table of the history model.
+
+use swift_bgp::{Timestamp, SECOND};
+
+/// Tunable parameters of the SWIFT inference algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceConfig {
+    /// Weight of the Withdrawal Share in the fit score (paper: 3).
+    pub ws_weight: f64,
+    /// Weight of the Path Share in the fit score (paper: 1).
+    pub ps_weight: f64,
+    /// Sliding-window length used by burst detection (paper: 10 s).
+    pub burst_window: Timestamp,
+    /// Withdrawals per window that start a burst (paper: 1,500).
+    pub burst_start_threshold: usize,
+    /// Withdrawals per window below which a burst ends (paper: 9).
+    pub burst_stop_threshold: usize,
+    /// Withdrawals received (since burst start) between inference attempts
+    /// (paper: 2,500).
+    pub triggering_threshold: usize,
+    /// Whether the history model gates inferences on prediction plausibility
+    /// (Fig. 6(b) vs Fig. 6(a)).
+    pub use_history: bool,
+    /// History-model plausibility table: `(withdrawals received, maximum
+    /// plausible predicted withdrawals)`. An inference made after receiving
+    /// `r` withdrawals is accepted only if the predicted number of affected
+    /// prefixes is below the cap of the first row with `received >= r`'s cap —
+    /// see [`InferenceConfig::plausibility_cap`].
+    pub plausibility_table: Vec<(usize, usize)>,
+    /// After this many withdrawals the inference is returned regardless of the
+    /// predicted size (paper: 20,000).
+    pub force_threshold: usize,
+    /// Relative tolerance when comparing fit scores for the "maximum FS set".
+    pub fs_tolerance: f64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig {
+            ws_weight: 3.0,
+            ps_weight: 1.0,
+            burst_window: 10 * SECOND,
+            burst_start_threshold: 1_500,
+            burst_stop_threshold: 9,
+            triggering_threshold: 2_500,
+            use_history: true,
+            plausibility_table: vec![
+                (2_500, 10_000),
+                (5_000, 20_000),
+                (7_500, 50_000),
+                (10_000, 100_000),
+            ],
+            force_threshold: 20_000,
+            fs_tolerance: 1e-9,
+        }
+    }
+}
+
+impl InferenceConfig {
+    /// The paper's configuration with the history model disabled (Fig. 6(a)).
+    pub fn without_history() -> Self {
+        InferenceConfig {
+            use_history: false,
+            ..Default::default()
+        }
+    }
+
+    /// The maximum plausible prediction size after having received `received`
+    /// withdrawals. Returns `None` if `received` is past
+    /// [`InferenceConfig::force_threshold`] (no cap: always accept).
+    pub fn plausibility_cap(&self, received: usize) -> Option<usize> {
+        if received >= self.force_threshold {
+            return None;
+        }
+        // Use the cap of the largest table row not exceeding `received`; if
+        // `received` is below the first row, use the first row's cap.
+        let mut cap = self.plausibility_table.first().map(|(_, c)| *c);
+        for (r, c) in &self.plausibility_table {
+            if received >= *r {
+                cap = Some(*c);
+            }
+        }
+        cap
+    }
+
+    /// Normalised WS/PS weights (sum to 1).
+    pub fn normalized_weights(&self) -> (f64, f64) {
+        let total = self.ws_weight + self.ps_weight;
+        (self.ws_weight / total, self.ps_weight / total)
+    }
+}
+
+/// Tunable parameters of the SWIFT encoding scheme (§5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodingConfig {
+    /// Total number of tag bits available (paper: 48, the destination MAC).
+    pub total_bits: u8,
+    /// Bits reserved for the AS-path part of the tag (paper sweep: 13–28;
+    /// default 18, the value §6.4 recommends).
+    pub path_bits: u8,
+    /// Deepest AS-path position encoded (paper: up to position 5, i.e. depth 4
+    /// remote links beyond the immediate next-hop link).
+    pub max_depth: usize,
+    /// Links carrying fewer prefixes than this are not encoded (paper: 1,500).
+    pub min_prefixes_per_link: usize,
+}
+
+impl Default for EncodingConfig {
+    fn default() -> Self {
+        EncodingConfig {
+            total_bits: 48,
+            path_bits: 18,
+            max_depth: 4,
+            min_prefixes_per_link: 1_500,
+        }
+    }
+}
+
+impl EncodingConfig {
+    /// Bits left for the next-hop part of the tag.
+    pub fn nexthop_part_bits(&self) -> u8 {
+        self.total_bits.saturating_sub(self.path_bits)
+    }
+
+    /// Bits available per next-hop slot: the next-hop part holds one primary
+    /// next-hop plus one backup per protected depth.
+    pub fn bits_per_nexthop(&self) -> u8 {
+        let slots = (self.max_depth + 1) as u8;
+        self.nexthop_part_bits() / slots
+    }
+
+    /// Maximum number of distinct next-hops representable per slot.
+    pub fn max_nexthops(&self) -> usize {
+        1usize << self.bits_per_nexthop()
+    }
+}
+
+/// Complete SWIFT configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwiftConfig {
+    /// Inference parameters.
+    pub inference: InferenceConfig,
+    /// Encoding parameters.
+    pub encoding: EncodingConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = InferenceConfig::default();
+        assert_eq!(c.ws_weight, 3.0);
+        assert_eq!(c.ps_weight, 1.0);
+        assert_eq!(c.burst_start_threshold, 1_500);
+        assert_eq!(c.burst_stop_threshold, 9);
+        assert_eq!(c.burst_window, 10 * SECOND);
+        assert_eq!(c.triggering_threshold, 2_500);
+        assert_eq!(c.force_threshold, 20_000);
+        assert!(c.use_history);
+
+        let e = EncodingConfig::default();
+        assert_eq!(e.total_bits, 48);
+        assert_eq!(e.path_bits, 18);
+        assert_eq!(e.max_depth, 4);
+        assert_eq!(e.min_prefixes_per_link, 1_500);
+    }
+
+    #[test]
+    fn plausibility_caps_follow_table() {
+        let c = InferenceConfig::default();
+        assert_eq!(c.plausibility_cap(2_500), Some(10_000));
+        assert_eq!(c.plausibility_cap(3_000), Some(10_000));
+        assert_eq!(c.plausibility_cap(5_000), Some(20_000));
+        assert_eq!(c.plausibility_cap(7_500), Some(50_000));
+        assert_eq!(c.plausibility_cap(10_000), Some(100_000));
+        assert_eq!(c.plausibility_cap(19_999), Some(100_000));
+        assert_eq!(c.plausibility_cap(20_000), None);
+        assert_eq!(c.plausibility_cap(1_000), Some(10_000));
+    }
+
+    #[test]
+    fn normalized_weights_sum_to_one() {
+        let (w, p) = InferenceConfig::default().normalized_weights();
+        assert!((w + p - 1.0).abs() < 1e-12);
+        assert!((w - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encoding_bit_budget_matches_paper_example() {
+        // §6.4: with 48-bit tags, 18 bits for AS paths and depth-4 protection,
+        // 30 / 5 = 6 bits per next-hop slot → 64 next-hops.
+        let e = EncodingConfig::default();
+        assert_eq!(e.nexthop_part_bits(), 30);
+        assert_eq!(e.bits_per_nexthop(), 6);
+        assert_eq!(e.max_nexthops(), 64);
+        // Depth-3 protection leaves 128 next-hops with two more path bits.
+        let e3 = EncodingConfig {
+            path_bits: 20,
+            max_depth: 3,
+            ..Default::default()
+        };
+        assert_eq!(e3.bits_per_nexthop(), 7);
+        assert_eq!(e3.max_nexthops(), 128);
+    }
+
+    #[test]
+    fn without_history_only_toggles_history() {
+        let a = InferenceConfig::default();
+        let b = InferenceConfig::without_history();
+        assert!(!b.use_history);
+        assert_eq!(a.triggering_threshold, b.triggering_threshold);
+    }
+}

@@ -1,0 +1,20 @@
+//! The SWIFT data-plane encoding scheme (§5 of the paper).
+//!
+//! * [`tag`] — tag bit layout and ternary match rules;
+//! * [`allocator`] — per-position link dictionaries under a bit budget;
+//! * [`policy`] — operator rerouting policies;
+//! * [`backup`] — pre-computation of per-prefix backup next-hops;
+//! * [`two_stage`] — the two-stage forwarding table and reroute-rule
+//!   installation.
+
+pub mod allocator;
+pub mod backup;
+pub mod policy;
+pub mod tag;
+pub mod two_stage;
+
+pub use allocator::EncodingPlan;
+pub use backup::{select_backup, BackupTable, PrefixBackups};
+pub use policy::ReroutingPolicy;
+pub use tag::{TagLayout, TagRule};
+pub use two_stage::{Stage2Rule, TwoStageTable};

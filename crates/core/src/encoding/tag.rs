@@ -1,0 +1,266 @@
+//! SWIFT data-plane tags (§5).
+//!
+//! A tag is a fixed-width bit string embedded into every incoming packet (the
+//! paper uses the 48-bit destination MAC). It has two parts:
+//!
+//! * the **AS-path part**: one bit group per AS-path position, holding the code
+//!   of the AS link the packet traverses at that position (code 0 = "not
+//!   encoded");
+//! * the **next-hop part**: one bit group per slot — slot 0 is the primary
+//!   next-hop, slot *d* (1 ≤ d ≤ max depth) is the backup next-hop to use if
+//!   the link at position *d* fails.
+//!
+//! Rerouting then needs a single wildcard rule per (inferred link position,
+//! backup next-hop): match the position group against the link's code and the
+//! corresponding backup slot against the next-hop's index, wildcard everything
+//! else.
+
+use std::fmt;
+
+/// Bit layout of a SWIFT tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagLayout {
+    /// Bits allocated to each AS-path position (index 0 ⇒ position 1).
+    pub position_bits: Vec<u8>,
+    /// Bits allocated to each next-hop slot.
+    pub nexthop_bits: u8,
+    /// Number of next-hop slots (1 primary + max depth backups).
+    pub nexthop_slots: usize,
+}
+
+impl TagLayout {
+    /// Creates a layout; panics if it does not fit in 64 bits (tags are stored
+    /// in a `u64`; the paper's 48-bit MAC is the realistic upper bound).
+    pub fn new(position_bits: Vec<u8>, nexthop_bits: u8, nexthop_slots: usize) -> Self {
+        let layout = TagLayout {
+            position_bits,
+            nexthop_bits,
+            nexthop_slots,
+        };
+        assert!(
+            layout.total_bits() <= 64,
+            "tag layout needs {} bits, more than the 64 available",
+            layout.total_bits()
+        );
+        layout
+    }
+
+    /// Total bits used by the layout.
+    pub fn total_bits(&self) -> u32 {
+        let path: u32 = self.position_bits.iter().map(|b| u32::from(*b)).sum();
+        path + u32::from(self.nexthop_bits) * self.nexthop_slots as u32
+    }
+
+    /// Number of encoded AS-path positions.
+    pub fn positions(&self) -> usize {
+        self.position_bits.len()
+    }
+
+    /// Bit offset of next-hop slot `slot` (slot 0 = primary).
+    fn nexthop_shift(&self, slot: usize) -> u32 {
+        assert!(slot < self.nexthop_slots, "slot {slot} out of range");
+        u32::from(self.nexthop_bits) * slot as u32
+    }
+
+    /// Bit offset of the group for AS-path position `pos` (1-based).
+    fn position_shift(&self, pos: usize) -> u32 {
+        assert!(pos >= 1 && pos <= self.positions(), "position {pos} out of range");
+        let nh_total = u32::from(self.nexthop_bits) * self.nexthop_slots as u32;
+        let before: u32 = self.position_bits[..pos - 1]
+            .iter()
+            .map(|b| u32::from(*b))
+            .sum();
+        nh_total + before
+    }
+
+    /// Mask (in place) of the group for position `pos`.
+    pub fn position_mask(&self, pos: usize) -> u64 {
+        let bits = u32::from(self.position_bits[pos - 1]);
+        if bits == 0 {
+            return 0;
+        }
+        ((1u64 << bits) - 1) << self.position_shift(pos)
+    }
+
+    /// Mask (in place) of next-hop slot `slot`.
+    pub fn nexthop_mask(&self, slot: usize) -> u64 {
+        let bits = u32::from(self.nexthop_bits);
+        if bits == 0 {
+            return 0;
+        }
+        ((1u64 << bits) - 1) << self.nexthop_shift(slot)
+    }
+
+    /// Writes the link code of position `pos` into `tag`.
+    pub fn set_position(&self, tag: u64, pos: usize, code: u64) -> u64 {
+        let mask = self.position_mask(pos);
+        let shifted = (code << self.position_shift(pos)) & mask;
+        (tag & !mask) | shifted
+    }
+
+    /// Writes the next-hop index of slot `slot` into `tag`.
+    pub fn set_nexthop(&self, tag: u64, slot: usize, index: u64) -> u64 {
+        let mask = self.nexthop_mask(slot);
+        let shifted = (index << self.nexthop_shift(slot)) & mask;
+        (tag & !mask) | shifted
+    }
+
+    /// Reads the link code of position `pos` from `tag`.
+    pub fn get_position(&self, tag: u64, pos: usize) -> u64 {
+        (tag & self.position_mask(pos)) >> self.position_shift(pos)
+    }
+
+    /// Reads the next-hop index of slot `slot` from `tag`.
+    pub fn get_nexthop(&self, tag: u64, slot: usize) -> u64 {
+        (tag & self.nexthop_mask(slot)) >> self.nexthop_shift(slot)
+    }
+
+    /// A rule matching packets whose position `pos` equals `code` and whose
+    /// backup slot for that position equals `nexthop_index` — the reroute rule
+    /// shape of §3.2 (`match(tag:*01** ***1*) >> fwd(3)`).
+    pub fn reroute_rule(&self, pos: usize, code: u64, nexthop_index: u64) -> TagRule {
+        let mut value = 0u64;
+        let mut mask = 0u64;
+        mask |= self.position_mask(pos);
+        value = self.set_position(value, pos, code);
+        mask |= self.nexthop_mask(pos); // slot `pos` protects the link at position `pos`
+        value = self.set_nexthop(value, pos, nexthop_index);
+        TagRule { value, mask }
+    }
+
+    /// A rule matching packets whose primary next-hop (slot 0) is
+    /// `nexthop_index` — the default forwarding rule of the second stage.
+    pub fn primary_rule(&self, nexthop_index: u64) -> TagRule {
+        let mask = self.nexthop_mask(0);
+        let value = self.set_nexthop(0, 0, nexthop_index);
+        TagRule { value, mask }
+    }
+}
+
+/// A ternary match on a tag: `tag & mask == value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagRule {
+    /// Expected value of the masked bits.
+    pub value: u64,
+    /// Bits that participate in the match.
+    pub mask: u64,
+}
+
+impl TagRule {
+    /// Returns `true` if `tag` matches this rule.
+    pub fn matches(&self, tag: u64) -> bool {
+        tag & self.mask == self.value
+    }
+}
+
+impl fmt::Display for TagRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "match(tag & {:#x} == {:#x})", self.mask, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> TagLayout {
+        // 3 positions of 2/3/2 bits, 4-bit next-hops, 1 primary + 3 backups.
+        TagLayout::new(vec![2, 3, 2], 4, 4)
+    }
+
+    #[test]
+    fn total_bits_accounting() {
+        let l = layout();
+        assert_eq!(l.total_bits(), 2 + 3 + 2 + 4 * 4);
+        assert_eq!(l.positions(), 3);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let l = layout();
+        let mut tag = 0u64;
+        tag = l.set_position(tag, 1, 0b11);
+        tag = l.set_position(tag, 2, 0b101);
+        tag = l.set_position(tag, 3, 0b01);
+        tag = l.set_nexthop(tag, 0, 0xA);
+        tag = l.set_nexthop(tag, 2, 0x5);
+        assert_eq!(l.get_position(tag, 1), 0b11);
+        assert_eq!(l.get_position(tag, 2), 0b101);
+        assert_eq!(l.get_position(tag, 3), 0b01);
+        assert_eq!(l.get_nexthop(tag, 0), 0xA);
+        assert_eq!(l.get_nexthop(tag, 1), 0);
+        assert_eq!(l.get_nexthop(tag, 2), 0x5);
+    }
+
+    #[test]
+    fn groups_do_not_overlap() {
+        let l = layout();
+        let mut masks = Vec::new();
+        for pos in 1..=3 {
+            masks.push(l.position_mask(pos));
+        }
+        for slot in 0..4 {
+            masks.push(l.nexthop_mask(slot));
+        }
+        for (i, a) in masks.iter().enumerate() {
+            assert_ne!(*a, 0);
+            for b in &masks[i + 1..] {
+                assert_eq!(a & b, 0, "overlapping bit groups");
+            }
+        }
+    }
+
+    #[test]
+    fn setting_a_code_larger_than_the_group_truncates() {
+        let l = layout();
+        let tag = l.set_position(0, 1, 0xFF);
+        assert_eq!(l.get_position(tag, 1), 0b11, "only 2 bits available");
+        // Other groups untouched.
+        assert_eq!(l.get_position(tag, 2), 0);
+        assert_eq!(l.get_nexthop(tag, 0), 0);
+    }
+
+    #[test]
+    fn reroute_rule_matches_only_affected_tags() {
+        let l = layout();
+        // Packets crossing link code 2 at position 2, backup next-hop 7.
+        let rule = l.reroute_rule(2, 2, 7);
+        let mut affected = 0u64;
+        affected = l.set_position(affected, 2, 2);
+        affected = l.set_nexthop(affected, 2, 7);
+        affected = l.set_nexthop(affected, 0, 3); // primary is irrelevant
+        affected = l.set_position(affected, 1, 1);
+        assert!(rule.matches(affected));
+
+        // Same position code but a different backup next-hop: no match.
+        let other_backup = l.set_nexthop(l.set_position(0, 2, 2), 2, 6);
+        assert!(!rule.matches(other_backup));
+        // Different link at that position: no match.
+        let other_link = l.set_nexthop(l.set_position(0, 2, 3), 2, 7);
+        assert!(!rule.matches(other_link));
+    }
+
+    #[test]
+    fn primary_rule_matches_on_slot_zero_only() {
+        let l = layout();
+        let rule = l.primary_rule(0xA);
+        let tag = l.set_nexthop(l.set_position(0, 1, 3), 0, 0xA);
+        assert!(rule.matches(tag));
+        assert!(!rule.matches(l.set_nexthop(0, 0, 0xB)));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than the 64 available")]
+    fn oversized_layout_panics() {
+        TagLayout::new(vec![32, 32], 8, 4);
+    }
+
+    #[test]
+    fn display_rule() {
+        let rule = TagRule {
+            value: 0x10,
+            mask: 0xF0,
+        };
+        assert_eq!(rule.to_string(), "match(tag & 0xf0 == 0x10)");
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-link withdrawal/path counters: the `W(l,t)` and `P(l,t)` quantities of
+//! §4.1.
+//!
+//! The tracker is seeded with the session's Adj-RIB-In at burst start (each
+//! prefix's current AS path) and updated with every subsequent per-prefix
+//! event:
+//!
+//! * a **withdrawal** of prefix `p` increments `W(l)` and decrements `P(l)` for
+//!   every link `l` on `p`'s current path, and increments the global
+//!   withdrawal count `W(t)`;
+//! * a **re-announcement** of `p` with a new path moves `P` from the links of
+//!   the old path to the links of the new one (an implicit withdrawal does not
+//!   count towards `W`, exactly as in the paper's Fig. 4 where the 10k updated
+//!   prefixes of AS 7 lower the path share of `(1,2)`/`(2,5)` without raising
+//!   any withdrawal share).
+
+use std::collections::{BTreeMap, HashMap};
+use swift_bgp::{AsLink, AsPath, Prefix};
+
+/// The per-link counters for one session.
+#[derive(Debug, Clone, Default)]
+pub struct LinkCounters {
+    /// Current path of each still-routed prefix.
+    paths: HashMap<Prefix, AsPath>,
+    /// Prefixes withdrawn since tracking started (with the path they had).
+    withdrawn: HashMap<Prefix, AsPath>,
+    /// W(l): withdrawn prefixes whose path included l.
+    w: BTreeMap<AsLink, usize>,
+    /// P(l): prefixes whose current path still includes l.
+    p: BTreeMap<AsLink, usize>,
+    /// W(t): total withdrawals received (including unknown/noise prefixes).
+    total_withdrawals: usize,
+}
+
+impl LinkCounters {
+    /// Creates counters seeded with the session's current routes.
+    pub fn from_rib<'a, I>(rib: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a Prefix, &'a AsPath)>,
+    {
+        let mut c = LinkCounters::default();
+        for (prefix, path) in rib {
+            c.paths.insert(*prefix, path.clone());
+            for link in path.links() {
+                *c.p.entry(link).or_insert(0) += 1;
+            }
+        }
+        c
+    }
+
+    /// Creates empty counters (no seeded routes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a withdrawal of `prefix`.
+    pub fn on_withdraw(&mut self, prefix: Prefix) {
+        self.total_withdrawals += 1;
+        if let Some(path) = self.paths.remove(&prefix) {
+            for link in path.links() {
+                *self.w.entry(link).or_insert(0) += 1;
+                if let Some(p) = self.p.get_mut(&link) {
+                    *p = p.saturating_sub(1);
+                }
+            }
+            self.withdrawn.insert(prefix, path);
+        }
+        // Withdrawals for prefixes we never had a route for (BGP noise) still
+        // count towards W(t) but touch no link counter.
+    }
+
+    /// Registers a re-announcement of `prefix` with `new_path`.
+    pub fn on_announce(&mut self, prefix: Prefix, new_path: AsPath) {
+        // If the prefix had been withdrawn during this burst it becomes routed
+        // again; its withdrawal contribution to W is kept (the withdrawal did
+        // happen) but the new path now counts towards P.
+        if let Some(old) = self.paths.remove(&prefix) {
+            for link in old.links() {
+                if let Some(p) = self.p.get_mut(&link) {
+                    *p = p.saturating_sub(1);
+                }
+            }
+        }
+        for link in new_path.links() {
+            *self.p.entry(link).or_insert(0) += 1;
+        }
+        self.paths.insert(prefix, new_path);
+        self.withdrawn.remove(&prefix);
+    }
+
+    /// `W(l,t)`: withdrawn prefixes whose path included `l`.
+    pub fn w(&self, link: &AsLink) -> usize {
+        self.w.get(link).copied().unwrap_or(0)
+    }
+
+    /// `P(l,t)`: prefixes whose current path still includes `l`.
+    pub fn p(&self, link: &AsLink) -> usize {
+        self.p.get(link).copied().unwrap_or(0)
+    }
+
+    /// `W(t)`: total withdrawals received.
+    pub fn total_withdrawals(&self) -> usize {
+        self.total_withdrawals
+    }
+
+    /// Every link with a non-zero `W` counter (the candidate failed links).
+    pub fn links_with_withdrawals(&self) -> impl Iterator<Item = (&AsLink, usize)> {
+        self.w.iter().filter(|(_, w)| **w > 0).map(|(l, w)| (l, *w))
+    }
+
+    /// Every link currently known to the counters (withdrawn or still routed).
+    pub fn all_links(&self) -> impl Iterator<Item = &AsLink> {
+        self.w.keys().chain(self.p.keys().filter(move |l| !self.w.contains_key(*l)))
+    }
+
+    /// The current path of `prefix`, if still routed.
+    pub fn current_path(&self, prefix: &Prefix) -> Option<&AsPath> {
+        self.paths.get(prefix)
+    }
+
+    /// Returns `true` if `prefix` has been withdrawn (and not re-announced).
+    pub fn is_withdrawn(&self, prefix: &Prefix) -> bool {
+        self.withdrawn.contains_key(prefix)
+    }
+
+    /// Number of prefixes withdrawn (with a known pre-withdrawal path).
+    pub fn withdrawn_count(&self) -> usize {
+        self.withdrawn.len()
+    }
+
+    /// Number of prefixes still routed.
+    pub fn routed_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Iterates over the still-routed prefixes and their current paths.
+    pub fn routed(&self) -> impl Iterator<Item = (&Prefix, &AsPath)> {
+        self.paths.iter()
+    }
+
+    /// Iterates over the withdrawn prefixes and the path they had.
+    pub fn withdrawn(&self) -> impl Iterator<Item = (&Prefix, &AsPath)> {
+        self.withdrawn.iter()
+    }
+
+    /// `W(S,t)` for a link set: withdrawn prefixes whose path crossed *any*
+    /// link of `links` (each prefix counted once).
+    ///
+    /// The paper's §4.2 formula writes the set scores as per-link sums; we use
+    /// the per-prefix union instead so that a prefix crossing two links of the
+    /// set (which always happens when the set shares an endpoint) is not
+    /// double-counted. The union form keeps `WS ≤ 1` and makes the greedy
+    /// aggregation reject upstream links whose extra still-routed prefixes
+    /// would dilute the score — matching the behaviour the paper reports
+    /// (aggregation covers router failures without swallowing healthy links).
+    pub fn w_union(&self, links: &[AsLink]) -> usize {
+        self.withdrawn
+            .values()
+            .filter(|path| path.crosses_any(links))
+            .count()
+    }
+
+    /// `P(S,t)` for a link set: still-routed prefixes whose current path
+    /// crosses *any* link of `links` (each prefix counted once).
+    pub fn p_union(&self, links: &[AsLink]) -> usize {
+        self.paths
+            .values()
+            .filter(|path| path.crosses_any(links))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> Prefix {
+        Prefix::nth_slash24(i)
+    }
+
+    /// Builds the Fig. 1 / Fig. 4 scenario at small scale: on the session with
+    /// AS 2, prefixes of AS 2 (1), AS 5 (1), AS 6 (1), AS 7 (10) and AS 8 (10)
+    /// are routed via (2), (2 5), (2 5 6), (2 5 6 7) and (2 5 6 8).
+    fn fig4_counters() -> LinkCounters {
+        let mut rib: Vec<(Prefix, AsPath)> = Vec::new();
+        rib.push((p(0), AsPath::new([2u32])));
+        rib.push((p(1), AsPath::new([2u32, 5])));
+        rib.push((p(2), AsPath::new([2u32, 5, 6])));
+        for i in 0..10 {
+            rib.push((p(10 + i), AsPath::new([2u32, 5, 6, 7])));
+        }
+        for i in 0..10 {
+            rib.push((p(30 + i), AsPath::new([2u32, 5, 6, 8])));
+        }
+        LinkCounters::from_rib(rib.iter().map(|(a, b)| (a, b)))
+    }
+
+    #[test]
+    fn seeding_counts_paths_per_link() {
+        let c = fig4_counters();
+        assert_eq!(c.p(&AsLink::new(2, 5)), 22);
+        assert_eq!(c.p(&AsLink::new(5, 6)), 21);
+        assert_eq!(c.p(&AsLink::new(6, 7)), 10);
+        assert_eq!(c.p(&AsLink::new(6, 8)), 10);
+        assert_eq!(c.w(&AsLink::new(5, 6)), 0);
+        assert_eq!(c.total_withdrawals(), 0);
+        assert_eq!(c.routed_count(), 23);
+    }
+
+    #[test]
+    fn fig4_end_of_burst_counters() {
+        // Failure of (5,6): AS 6 and AS 8 prefixes withdrawn (11 messages),
+        // AS 7 prefixes re-announced over a path avoiding (5,6).
+        let mut c = fig4_counters();
+        c.on_withdraw(p(2));
+        for i in 0..10 {
+            c.on_withdraw(p(30 + i));
+        }
+        for i in 0..10 {
+            c.on_announce(p(10 + i), AsPath::new([2u32, 5, 3, 6, 7]));
+        }
+        assert_eq!(c.total_withdrawals(), 11);
+        // W/P per link, as in Fig. 4 (scaled down 1000×).
+        assert_eq!(c.w(&AsLink::new(5, 6)), 11);
+        assert_eq!(c.p(&AsLink::new(5, 6)), 0);
+        assert_eq!(c.w(&AsLink::new(2, 5)), 11);
+        assert_eq!(c.p(&AsLink::new(2, 5)), 11, "AS5 prefix + 10 updated AS7 prefixes");
+        assert_eq!(c.w(&AsLink::new(6, 8)), 10);
+        assert_eq!(c.p(&AsLink::new(6, 8)), 0);
+        assert_eq!(c.w(&AsLink::new(6, 7)), 0);
+        assert_eq!(c.p(&AsLink::new(6, 7)), 10, "re-announced paths still end at (6,7)... via 3");
+        assert_eq!(c.withdrawn_count(), 11);
+        assert_eq!(c.routed_count(), 12);
+    }
+
+    #[test]
+    fn noise_withdrawals_count_globally_only() {
+        let mut c = fig4_counters();
+        c.on_withdraw(p(9_999));
+        assert_eq!(c.total_withdrawals(), 1);
+        assert_eq!(c.withdrawn_count(), 0);
+        assert_eq!(c.w(&AsLink::new(2, 5)), 0);
+    }
+
+    #[test]
+    fn reannouncement_after_withdrawal_restores_p_but_keeps_w() {
+        let mut c = fig4_counters();
+        c.on_withdraw(p(2));
+        assert_eq!(c.w(&AsLink::new(5, 6)), 1);
+        assert_eq!(c.p(&AsLink::new(5, 6)), 20);
+        assert!(c.is_withdrawn(&p(2)));
+        c.on_announce(p(2), AsPath::new([2u32, 5, 6]));
+        assert_eq!(c.w(&AsLink::new(5, 6)), 1, "the withdrawal still happened");
+        assert_eq!(c.p(&AsLink::new(5, 6)), 21);
+        assert!(!c.is_withdrawn(&p(2)));
+        assert_eq!(c.current_path(&p(2)), Some(&AsPath::new([2u32, 5, 6])));
+    }
+
+    #[test]
+    fn double_withdrawal_is_counted_once_per_message() {
+        let mut c = fig4_counters();
+        c.on_withdraw(p(2));
+        c.on_withdraw(p(2));
+        // Second withdrawal of an already-withdrawn prefix counts towards W(t)
+        // (it is a received message) but cannot touch link counters again.
+        assert_eq!(c.total_withdrawals(), 2);
+        assert_eq!(c.w(&AsLink::new(5, 6)), 1);
+    }
+
+    #[test]
+    fn links_with_withdrawals_iterates_only_positive_w() {
+        let mut c = fig4_counters();
+        c.on_withdraw(p(2));
+        let links: Vec<AsLink> = c.links_with_withdrawals().map(|(l, _)| *l).collect();
+        assert!(links.contains(&AsLink::new(2, 5)));
+        assert!(links.contains(&AsLink::new(5, 6)));
+        assert!(!links.contains(&AsLink::new(6, 7)));
+        assert!(!links.contains(&AsLink::new(6, 8)));
+    }
+
+    #[test]
+    fn union_counters_count_each_prefix_once() {
+        let mut c = fig4_counters();
+        c.on_withdraw(p(2));
+        for i in 0..10 {
+            c.on_withdraw(p(30 + i));
+        }
+        let set = [AsLink::new(5, 6), AsLink::new(6, 8)];
+        // The 11 withdrawn prefixes all cross (5,6); the 10 AS 8 prefixes also
+        // cross (6,8) but are not double-counted.
+        assert_eq!(c.w_union(&set), 11);
+        // Still routed across the set: the 10 AS 7 prefixes (via (5,6)).
+        assert_eq!(c.p_union(&set), 10);
+        // Adding an upstream link brings in its extra still-routed prefixes.
+        let with_upstream = [AsLink::new(2, 5), AsLink::new(5, 6)];
+        assert_eq!(c.w_union(&with_upstream), 11);
+        assert_eq!(c.p_union(&with_upstream), 11, "AS 5 prefix + 10 AS 7 prefixes");
+        assert_eq!(c.w_union(&[]), 0);
+        assert_eq!(c.p_union(&[]), 0);
+    }
+
+    #[test]
+    fn announce_of_new_prefix_adds_paths() {
+        let mut c = LinkCounters::new();
+        c.on_announce(p(1), AsPath::new([9u32, 8]));
+        assert_eq!(c.p(&AsLink::new(9, 8)), 1);
+        assert_eq!(c.routed_count(), 1);
+        assert_eq!(c.withdrawn_count(), 0);
+    }
+}

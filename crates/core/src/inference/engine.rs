@@ -1,0 +1,385 @@
+//! The per-session SWIFT inference engine (§4).
+//!
+//! One [`InferenceEngine`] consumes the elementary per-prefix events of one BGP
+//! session. It keeps the session's routing state, detects bursts, and — every
+//! [`triggering threshold`](crate::config::InferenceConfig::triggering_threshold)
+//! withdrawals — runs the fit-score inference. With the history model enabled,
+//! an inference is only *accepted* (returned to the caller, who then installs
+//! reroute rules) if the predicted burst size is plausible for the amount of
+//! information received so far; otherwise the engine waits for the next
+//! trigger, and always accepts once the force threshold is reached.
+
+use crate::config::InferenceConfig;
+use crate::inference::aggregate::{infer_links, InferredLinks};
+use crate::inference::burst_detect::{BurstDetector, BurstEvent};
+use crate::inference::counters::LinkCounters;
+use crate::inference::fit_score::Score;
+use crate::inference::predictor::{predict, Prediction};
+use swift_bgp::{AsPath, ElementaryEvent, Prefix, Timestamp};
+
+/// An accepted inference: the output SWIFT acts upon.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// Time at which the inference was made (timestamp of the triggering
+    /// event).
+    pub time: Timestamp,
+    /// Withdrawals received in the burst up to this point.
+    pub withdrawals_seen: usize,
+    /// The inferred failed links and their aggregate score.
+    pub links: InferredLinks,
+    /// The prefix-level prediction.
+    pub prediction: Prediction,
+}
+
+impl InferenceResult {
+    /// The fit score of the inferred link set.
+    pub fn score(&self) -> Score {
+        self.links.score
+    }
+}
+
+/// Why the engine did not return an inference for an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineStatus {
+    /// No burst is ongoing.
+    Idle,
+    /// A burst is ongoing but the next trigger has not been reached.
+    WaitingForTrigger,
+    /// An inference was attempted but rejected by the history model.
+    RejectedByHistory,
+    /// An inference was accepted (see the accompanying result).
+    Accepted,
+}
+
+/// Per-session inference engine.
+#[derive(Debug, Clone)]
+pub struct InferenceEngine {
+    config: InferenceConfig,
+    counters: LinkCounters,
+    detector: BurstDetector,
+    /// Withdrawals seen in the current burst at the time of the last attempt.
+    last_attempt_withdrawals: usize,
+    /// Set once an inference has been accepted for the current burst.
+    accepted: Option<InferenceResult>,
+    /// Number of inference attempts made in the current burst.
+    attempts: usize,
+}
+
+impl InferenceEngine {
+    /// Creates an engine seeded with the session's current Adj-RIB-In.
+    pub fn new<'a, I>(config: InferenceConfig, rib: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a Prefix, &'a AsPath)>,
+    {
+        let detector = BurstDetector::new(&config);
+        InferenceEngine {
+            config,
+            counters: LinkCounters::from_rib(rib),
+            detector,
+            last_attempt_withdrawals: 0,
+            accepted: None,
+            attempts: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &InferenceConfig {
+        &self.config
+    }
+
+    /// The current counters (exposed for metrics and debugging).
+    pub fn counters(&self) -> &LinkCounters {
+        &self.counters
+    }
+
+    /// The burst detector state.
+    pub fn in_burst(&self) -> bool {
+        self.detector.in_burst()
+    }
+
+    /// Withdrawals received since the current burst started.
+    pub fn withdrawals_in_burst(&self) -> usize {
+        self.detector.withdrawals_in_burst()
+    }
+
+    /// The inference accepted for the current burst, if any.
+    pub fn accepted(&self) -> Option<&InferenceResult> {
+        self.accepted.as_ref()
+    }
+
+    /// Number of inference attempts made during the current burst.
+    pub fn attempts(&self) -> usize {
+        self.attempts
+    }
+
+    /// Processes one per-prefix event. Returns the accepted inference if this
+    /// event triggered one.
+    pub fn process(&mut self, event: &ElementaryEvent) -> (EngineStatus, Option<InferenceResult>) {
+        match event {
+            ElementaryEvent::Announce {
+                timestamp,
+                prefix,
+                attrs,
+            } => {
+                self.counters.on_announce(*prefix, attrs.as_path.clone());
+                if self.detector.on_tick(*timestamp) {
+                    self.reset_burst_state();
+                }
+                (self.idle_status(), None)
+            }
+            ElementaryEvent::Withdraw { timestamp, prefix } => {
+                self.counters.on_withdraw(*prefix);
+                match self.detector.on_withdrawal(*timestamp) {
+                    BurstEvent::None => (EngineStatus::Idle, None),
+                    BurstEvent::Started(_) | BurstEvent::Ongoing => {
+                        self.maybe_infer(*timestamp)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes a whole stream of events, returning every accepted inference
+    /// (at most one per burst) in order.
+    pub fn process_all<'a, I>(&mut self, events: I) -> Vec<InferenceResult>
+    where
+        I: IntoIterator<Item = &'a ElementaryEvent>,
+    {
+        let mut results = Vec::new();
+        for ev in events {
+            if let (_, Some(res)) = self.process(ev) {
+                results.push(res);
+            }
+        }
+        results
+    }
+
+    /// Forces an inference with the current counters, bypassing burst
+    /// detection and the history model (used to evaluate "end of burst"
+    /// accuracy, Theorem 4.1).
+    pub fn force_infer(&self, time: Timestamp) -> InferenceResult {
+        let links = infer_links(&self.counters, &self.config);
+        let prediction = predict(&self.counters, &links);
+        InferenceResult {
+            time,
+            withdrawals_seen: self.counters.total_withdrawals(),
+            links,
+            prediction,
+        }
+    }
+
+    fn idle_status(&self) -> EngineStatus {
+        if self.detector.in_burst() {
+            EngineStatus::WaitingForTrigger
+        } else {
+            EngineStatus::Idle
+        }
+    }
+
+    fn reset_burst_state(&mut self) {
+        self.last_attempt_withdrawals = 0;
+        self.accepted = None;
+        self.attempts = 0;
+    }
+
+    fn maybe_infer(&mut self, now: Timestamp) -> (EngineStatus, Option<InferenceResult>) {
+        // Only one accepted inference per burst: afterwards the SWIFTED router
+        // has already rerouted and simply waits for BGP to converge.
+        if self.accepted.is_some() {
+            return (EngineStatus::Accepted, None);
+        }
+        let seen = self.detector.withdrawals_in_burst();
+        if seen < self.last_attempt_withdrawals + self.config.triggering_threshold {
+            return (EngineStatus::WaitingForTrigger, None);
+        }
+        self.last_attempt_withdrawals = seen;
+        self.attempts += 1;
+
+        let links = infer_links(&self.counters, &self.config);
+        let prediction = predict(&self.counters, &links);
+        let result = InferenceResult {
+            time: now,
+            withdrawals_seen: seen,
+            links,
+            prediction,
+        };
+
+        if self.config.use_history {
+            if let Some(cap) = self.config.plausibility_cap(seen) {
+                if result.prediction.total_affected() > cap {
+                    return (EngineStatus::RejectedByHistory, None);
+                }
+            }
+        }
+        self.accepted = Some(result.clone());
+        (EngineStatus::Accepted, Some(result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_bgp::{AsLink, RouteAttributes, SECOND};
+
+    fn p(i: u32) -> Prefix {
+        Prefix::nth_slash24(i)
+    }
+
+    /// A session RIB with `n` prefixes beyond link (5,6) (half via AS 7, half
+    /// via AS 8), plus a few local prefixes.
+    fn rib(n: u32) -> Vec<(Prefix, AsPath)> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            let path = if i % 2 == 0 {
+                AsPath::new([2u32, 5, 6, 7])
+            } else {
+                AsPath::new([2u32, 5, 6, 8])
+            };
+            v.push((p(i), path));
+        }
+        for i in n..n + 50 {
+            v.push((p(i), AsPath::new([2u32, 5])));
+        }
+        v
+    }
+
+    fn small_config() -> InferenceConfig {
+        InferenceConfig {
+            burst_start_threshold: 100,
+            burst_stop_threshold: 2,
+            triggering_threshold: 200,
+            // Scale the plausibility caps down with the thresholds.
+            plausibility_table: vec![(200, 800), (400, 1_600)],
+            force_threshold: 1_000,
+            ..Default::default()
+        }
+    }
+
+    fn withdraw_events(count: u32, gap: Timestamp) -> Vec<ElementaryEvent> {
+        (0..count)
+            .map(|i| ElementaryEvent::Withdraw {
+                timestamp: u64::from(i) * gap,
+                prefix: p(i),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_inference_without_a_burst() {
+        let table = rib(1_000);
+        let mut engine = InferenceEngine::new(small_config(), table.iter().map(|(a, b)| (a, b)));
+        // 50 withdrawals spread over 50 minutes: never a burst.
+        for i in 0..50u64 {
+            let ev = ElementaryEvent::Withdraw {
+                timestamp: i * 60 * SECOND,
+                prefix: p(i as u32),
+            };
+            let (status, res) = engine.process(&ev);
+            assert!(res.is_none());
+            assert_eq!(status, EngineStatus::Idle);
+        }
+        assert!(!engine.in_burst());
+    }
+
+    #[test]
+    fn burst_triggers_inference_at_threshold() {
+        let table = rib(700);
+        let mut engine = InferenceEngine::new(small_config(), table.iter().map(|(a, b)| (a, b)));
+        let events = withdraw_events(400, 10_000); // 10 ms apart → clearly a burst
+        let results = engine.process_all(events.iter());
+        assert_eq!(results.len(), 1, "exactly one accepted inference per burst");
+        let res = &results[0];
+        assert_eq!(res.withdrawals_seen, 200, "accepted at the first trigger");
+        assert!(res.links.links.contains(&AsLink::new(5, 6)));
+        // The prediction covers every prefix beyond the failed link.
+        assert_eq!(res.prediction.total_affected(), 700);
+        assert!(engine.accepted().is_some());
+        assert_eq!(engine.attempts(), 1);
+    }
+
+    #[test]
+    fn history_model_delays_implausibly_large_predictions() {
+        // 2,000 prefixes beyond the failed link but a cap of 800 at the first
+        // trigger: the engine must reject the first attempt and accept later
+        // (at 400 received, cap 1,600 — still too small — then at the force
+        // threshold of 1,000 withdrawals).
+        let table = rib(2_000);
+        let mut engine = InferenceEngine::new(small_config(), table.iter().map(|(a, b)| (a, b)));
+        let events = withdraw_events(1_200, 10_000);
+        let mut statuses = Vec::new();
+        let mut results = Vec::new();
+        for ev in &events {
+            let (status, res) = engine.process(ev);
+            statuses.push(status);
+            if let Some(r) = res {
+                results.push(r);
+            }
+        }
+        assert_eq!(results.len(), 1);
+        assert!(
+            results[0].withdrawals_seen >= 1_000,
+            "accepted only once the force threshold disabled the cap (seen {})",
+            results[0].withdrawals_seen
+        );
+        assert!(statuses.contains(&EngineStatus::RejectedByHistory));
+    }
+
+    #[test]
+    fn without_history_first_trigger_is_accepted() {
+        let table = rib(2_000);
+        let config = InferenceConfig {
+            use_history: false,
+            ..small_config()
+        };
+        let mut engine = InferenceEngine::new(config, table.iter().map(|(a, b)| (a, b)));
+        let events = withdraw_events(400, 10_000);
+        let results = engine.process_all(events.iter());
+        assert_eq!(results.len(), 1);
+        assert!(results[0].withdrawals_seen <= 250);
+    }
+
+    #[test]
+    fn force_infer_at_end_of_burst_is_exact() {
+        let table = rib(500);
+        let mut engine =
+            InferenceEngine::new(InferenceConfig::default(), table.iter().map(|(a, b)| (a, b)));
+        // Deliver the whole burst (all 500 prefixes beyond (5,6) withdrawn).
+        for i in 0..500u32 {
+            engine.process(&ElementaryEvent::Withdraw {
+                timestamp: u64::from(i) * 1_000,
+                prefix: p(i),
+            });
+        }
+        let res = engine.force_infer(600_000);
+        assert_eq!(res.links.links, vec![AsLink::new(5, 6)]);
+        assert!((res.links.score.fs - 1.0).abs() < 1e-9);
+        assert_eq!(res.prediction.already_withdrawn.len(), 500);
+        assert_eq!(res.prediction.predicted.len(), 0);
+    }
+
+    #[test]
+    fn announcements_do_not_trigger_inference() {
+        let table = rib(1_000);
+        let mut engine = InferenceEngine::new(small_config(), table.iter().map(|(a, b)| (a, b)));
+        for i in 0..500u32 {
+            let ev = ElementaryEvent::Announce {
+                timestamp: u64::from(i) * 1_000,
+                prefix: p(i),
+                attrs: RouteAttributes::from_path(AsPath::new([3u32, 6, 7])),
+            };
+            let (status, res) = engine.process(&ev);
+            assert!(res.is_none());
+            assert_eq!(status, EngineStatus::Idle);
+        }
+    }
+
+    #[test]
+    fn one_inference_per_burst_even_with_more_triggers() {
+        let table = rib(700);
+        let mut engine = InferenceEngine::new(small_config(), table.iter().map(|(a, b)| (a, b)));
+        let events = withdraw_events(700, 10_000);
+        let results = engine.process_all(events.iter());
+        assert_eq!(results.len(), 1);
+        assert_eq!(engine.attempts(), 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! The Fit Score: the weighted geometric mean of Withdrawal Share and Path
+//! Share (§4.1), for single links and for link sets (§4.2, concurrent
+//! failures).
+
+use crate::config::InferenceConfig;
+use crate::inference::counters::LinkCounters;
+use swift_bgp::AsLink;
+
+/// The WS / PS / FS values of one link or link set at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Withdrawal Share: fraction of all received withdrawals explained.
+    pub ws: f64,
+    /// Path Share: fraction of the prefixes crossing the link(s) withdrawn.
+    pub ps: f64,
+    /// Fit Score: weighted geometric mean of WS and PS.
+    pub fs: f64,
+}
+
+/// Withdrawal Share of a single link: `W(l,t) / W(t)`.
+pub fn withdrawal_share(counters: &LinkCounters, link: &AsLink) -> f64 {
+    let total = counters.total_withdrawals();
+    if total == 0 {
+        return 0.0;
+    }
+    counters.w(link) as f64 / total as f64
+}
+
+/// Path Share of a single link: `W(l,t) / (W(l,t) + P(l,t))`.
+pub fn path_share(counters: &LinkCounters, link: &AsLink) -> f64 {
+    let w = counters.w(link);
+    let p = counters.p(link);
+    if w + p == 0 {
+        return 0.0;
+    }
+    w as f64 / (w + p) as f64
+}
+
+/// Weighted geometric mean of WS and PS:
+/// `FS = (WS^wWS * PS^wPS)^(1 / (wWS + wPS))`.
+pub fn fit_score_value(ws: f64, ps: f64, config: &InferenceConfig) -> f64 {
+    let (w_ws, w_ps) = config.normalized_weights();
+    ws.powf(w_ws) * ps.powf(w_ps)
+}
+
+/// Scores a single link.
+pub fn score_link(counters: &LinkCounters, link: &AsLink, config: &InferenceConfig) -> Score {
+    let ws = withdrawal_share(counters, link);
+    let ps = path_share(counters, link);
+    Score {
+        ws,
+        ps,
+        fs: fit_score_value(ws, ps, config),
+    }
+}
+
+/// Scores a set of links using the aggregated definitions of §4.2, with the
+/// per-prefix union semantics of [`LinkCounters::w_union`] /
+/// [`LinkCounters::p_union`]: `WS(S) = W(S)/W(t)` and
+/// `PS(S) = W(S) / (W(S) + P(S))`, where `W(S)`/`P(S)` count each prefix once
+/// even if its path crosses several links of the set.
+pub fn score_link_set(counters: &LinkCounters, links: &[AsLink], config: &InferenceConfig) -> Score {
+    let total = counters.total_withdrawals();
+    let w = counters.w_union(links);
+    let p = counters.p_union(links);
+    let ws = if total == 0 {
+        0.0
+    } else {
+        w as f64 / total as f64
+    };
+    let ps = if w + p == 0 {
+        0.0
+    } else {
+        w as f64 / (w + p) as f64
+    };
+    Score {
+        ws,
+        ps,
+        fs: fit_score_value(ws, ps, config),
+    }
+}
+
+/// Scores every link with at least one withdrawal, returning `(link, score)`
+/// pairs sorted by decreasing fit score (ties broken by link identity for
+/// determinism).
+pub fn rank_links(counters: &LinkCounters, config: &InferenceConfig) -> Vec<(AsLink, Score)> {
+    let mut scored: Vec<(AsLink, Score)> = counters
+        .links_with_withdrawals()
+        .map(|(l, _)| (*l, score_link(counters, l, config)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.fs
+            .partial_cmp(&a.1.fs)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_bgp::{AsPath, Prefix};
+
+    fn p(i: u32) -> Prefix {
+        Prefix::nth_slash24(i)
+    }
+
+    /// The Fig. 4 scenario at 1:1000 scale, run to the end of the burst.
+    fn fig4_end() -> LinkCounters {
+        let mut rib: Vec<(Prefix, AsPath)> = vec![
+            (p(0), AsPath::new([2u32])),
+            (p(1), AsPath::new([2u32, 5])),
+            (p(2), AsPath::new([2u32, 5, 6])),
+        ];
+        for i in 0..10 {
+            rib.push((p(10 + i), AsPath::new([2u32, 5, 6, 7])));
+        }
+        for i in 0..10 {
+            rib.push((p(30 + i), AsPath::new([2u32, 5, 6, 8])));
+        }
+        let mut c = LinkCounters::from_rib(rib.iter().map(|(a, b)| (a, b)));
+        c.on_withdraw(p(2));
+        for i in 0..10 {
+            c.on_withdraw(p(30 + i));
+        }
+        for i in 0..10 {
+            c.on_announce(p(10 + i), AsPath::new([2u32, 5, 3, 6, 7]));
+        }
+        c
+    }
+
+    #[test]
+    fn fig4_shares_match_paper() {
+        let c = fig4_end();
+        let cfg = InferenceConfig::default();
+
+        let s56 = score_link(&c, &AsLink::new(5, 6), &cfg);
+        assert!((s56.ws - 1.0).abs() < 1e-12, "WS(5,6) = 11/11");
+        assert!((s56.ps - 1.0).abs() < 1e-12, "PS(5,6) = 11/11");
+        assert!((s56.fs - 1.0).abs() < 1e-12);
+
+        let s25 = score_link(&c, &AsLink::new(2, 5), &cfg);
+        assert!((s25.ws - 1.0).abs() < 1e-12, "WS(2,5) = 11/11");
+        assert!((s25.ps - 11.0 / 22.0).abs() < 1e-12, "PS(2,5) = 11/22");
+        assert!(s25.fs < s56.fs);
+
+        let s68 = score_link(&c, &AsLink::new(6, 8), &cfg);
+        assert!((s68.ws - 10.0 / 11.0).abs() < 1e-12, "WS(6,8) = 10/11");
+        assert!((s68.ps - 1.0).abs() < 1e-12, "PS(6,8) = 10/10");
+        assert!(s68.fs < s56.fs);
+
+        let s67 = score_link(&c, &AsLink::new(6, 7), &cfg);
+        assert_eq!(s67.ws, 0.0);
+        assert_eq!(s67.fs, 0.0);
+    }
+
+    #[test]
+    fn failed_link_ranks_first_at_end_of_burst() {
+        let c = fig4_end();
+        let cfg = InferenceConfig::default();
+        let ranking = rank_links(&c, &cfg);
+        assert_eq!(ranking[0].0, AsLink::new(5, 6));
+        // Every ranked link has withdrawals.
+        assert!(ranking.iter().all(|(_, s)| s.ws > 0.0));
+    }
+
+    #[test]
+    fn ws_weight_dominance_early_in_burst() {
+        // Early in a burst only 2 of the 20 prefixes crossing the failed link
+        // have been withdrawn: PS is low, but WS is already 1.0. With the
+        // paper's 3:1 weighting the failed link must still outrank a link with
+        // a spuriously high PS but low WS.
+        let mut rib: Vec<(Prefix, AsPath)> = Vec::new();
+        for i in 0..20 {
+            rib.push((p(i), AsPath::new([2u32, 5, 6])));
+        }
+        rib.push((p(100), AsPath::new([2u32, 9])));
+        let mut c = LinkCounters::from_rib(rib.iter().map(|(a, b)| (a, b)));
+        c.on_withdraw(p(0));
+        c.on_withdraw(p(1));
+        let cfg = InferenceConfig::default();
+        let s56 = score_link(&c, &AsLink::new(5, 6), &cfg);
+        assert!((s56.ws - 1.0).abs() < 1e-12);
+        assert!((s56.ps - 0.1).abs() < 1e-12);
+        assert!(s56.fs > 0.5, "WS-heavy weighting keeps FS high: {}", s56.fs);
+        // With inverted weights the same link would score much lower.
+        let inverted = InferenceConfig {
+            ws_weight: 1.0,
+            ps_weight: 3.0,
+            ..Default::default()
+        };
+        let s_inv = score_link(&c, &AsLink::new(5, 6), &inverted);
+        assert!(s_inv.fs < s56.fs);
+    }
+
+    #[test]
+    fn set_scores_aggregate() {
+        let c = fig4_end();
+        let cfg = InferenceConfig::default();
+        // The set {(5,6), (6,8)} shares endpoint 6; the union semantics count
+        // the 11 withdrawn prefixes once each.
+        let set = [AsLink::new(5, 6), AsLink::new(6, 8)];
+        let s = score_link_set(&c, &set, &cfg);
+        assert!((s.ws - 1.0).abs() < 1e-12, "11 of 11 withdrawals explained");
+        assert!((s.ps - 1.0).abs() < 1e-12, "nothing crossing the set survives");
+        // Adding a link whose prefixes survived (the re-announced AS 7 prefixes
+        // still end with (6,7) hops via AS 3... but that path is (2 5 3 6 7), so
+        // its (6,7) hop keeps P(6,7) > 0) dilutes PS and lowers the score.
+        let set2 = [AsLink::new(5, 6), AsLink::new(6, 7)];
+        let s2 = score_link_set(&c, &set2, &cfg);
+        assert!(s2.ps < 1.0);
+        assert!(s2.fs < s.fs);
+        // Adding the upstream (2,5) link also dilutes PS (AS 5's own prefix and
+        // the updated AS 7 prefixes still cross it).
+        let set3 = [AsLink::new(2, 5), AsLink::new(5, 6)];
+        let s3 = score_link_set(&c, &set3, &cfg);
+        assert!(s3.fs < s.fs);
+    }
+
+    #[test]
+    fn empty_counters_score_zero() {
+        let c = LinkCounters::new();
+        let cfg = InferenceConfig::default();
+        let s = score_link(&c, &AsLink::new(1, 2), &cfg);
+        assert_eq!(s.ws, 0.0);
+        assert_eq!(s.ps, 0.0);
+        assert_eq!(s.fs, 0.0);
+        assert!(rank_links(&c, &cfg).is_empty());
+        let set = score_link_set(&c, &[], &cfg);
+        assert_eq!(set.fs, 0.0);
+    }
+
+    #[test]
+    fn fit_score_is_weighted_geometric_mean() {
+        let cfg = InferenceConfig::default();
+        // ws=1, ps=0.5, weights 3:1 → (1^3 * 0.5)^(1/4) = 0.5^0.25.
+        let v = fit_score_value(1.0, 0.5, &cfg);
+        assert!((v - 0.5f64.powf(0.25)).abs() < 1e-12);
+        // Zero PS forces a zero score regardless of WS.
+        assert_eq!(fit_score_value(1.0, 0.0, &cfg), 0.0);
+    }
+}

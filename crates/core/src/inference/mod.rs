@@ -1,0 +1,32 @@
+//! The SWIFT inference algorithm (§4 of the paper).
+//!
+//! The pipeline, per BGP session:
+//!
+//! 1. [`burst_detect`] — a sliding-window detector spots significant increases
+//!    in the withdrawal frequency (burst start/end);
+//! 2. [`counters`] — per-link `W(l,t)` / `P(l,t)` counters are maintained from
+//!    the session's routing state and the incoming events;
+//! 3. [`fit_score`] — links are ranked by the Fit Score, the weighted geometric
+//!    mean of Withdrawal Share and Path Share;
+//! 4. [`aggregate`] — the inferred set is selected: all maximum-FS links, plus
+//!    greedy common-endpoint aggregation for concurrent (router) failures;
+//! 5. [`predictor`] — the inferred links are conservatively translated into the
+//!    set of prefixes to reroute;
+//! 6. [`engine`] — [`InferenceEngine`] orchestrates the above and applies the
+//!    history model's plausibility gating.
+
+pub mod aggregate;
+pub mod burst_detect;
+pub mod counters;
+pub mod engine;
+pub mod fit_score;
+pub mod predictor;
+
+pub use aggregate::{infer_links, InferredLinks};
+pub use burst_detect::{BurstDetector, BurstEvent, WindowHistory};
+pub use counters::LinkCounters;
+pub use engine::{EngineStatus, InferenceEngine, InferenceResult};
+pub use fit_score::{
+    fit_score_value, path_share, rank_links, score_link, score_link_set, withdrawal_share, Score,
+};
+pub use predictor::{predict, predicted_prefixes, Prediction};

@@ -1,0 +1,351 @@
+//! The SWIFTED router: the integration of inference and encoding (§3, Fig. 3).
+//!
+//! [`SwiftRouter`] models the workflow of a border router with SWIFT deployed:
+//!
+//! 1. before any outage it maintains its routing table, pre-computes backup
+//!    next-hops and keeps the two-stage forwarding table in sync;
+//! 2. every BGP session feeds a per-session [`InferenceEngine`];
+//! 3. when an inference is accepted, the router installs the handful of
+//!    stage-2 reroute rules returned by the encoding scheme — restoring
+//!    connectivity for all predicted prefixes at once;
+//! 4. once BGP has reconverged the SWIFT rules are removed.
+
+use crate::config::SwiftConfig;
+use crate::encoding::{ReroutingPolicy, TwoStageTable};
+use crate::inference::{InferenceEngine, InferenceResult};
+use std::collections::BTreeMap;
+use swift_bgp::{AsLink, ElementaryEvent, PeerId, Prefix, PrefixSet, RoutingTable, Timestamp};
+
+/// What the router did in response to an accepted inference.
+#[derive(Debug, Clone)]
+pub struct RerouteAction {
+    /// The session on which the burst was observed.
+    pub session: PeerId,
+    /// When the reroute was triggered.
+    pub time: Timestamp,
+    /// The inferred failed links.
+    pub links: Vec<AsLink>,
+    /// The prefixes predicted as affected (and therefore rerouted).
+    pub predicted: PrefixSet,
+    /// Number of stage-2 rules installed — the number of data-plane updates.
+    pub rules_installed: usize,
+}
+
+/// A border router with SWIFT deployed.
+#[derive(Debug, Clone)]
+pub struct SwiftRouter {
+    config: SwiftConfig,
+    policy: ReroutingPolicy,
+    table: RoutingTable,
+    engines: BTreeMap<PeerId, InferenceEngine>,
+    forwarding: TwoStageTable,
+    actions: Vec<RerouteAction>,
+}
+
+impl SwiftRouter {
+    /// Builds a SWIFTED router from its current routing state.
+    pub fn new(config: SwiftConfig, table: RoutingTable, policy: ReroutingPolicy) -> Self {
+        let mut engines = BTreeMap::new();
+        for (peer, _) in table.peers() {
+            let rib = table.adj_rib_in(peer).expect("peer just listed");
+            let engine = InferenceEngine::new(
+                config.inference.clone(),
+                rib.iter().map(|(p, r)| (p, &r.attrs.as_path)),
+            );
+            engines.insert(peer, engine);
+        }
+        let forwarding = TwoStageTable::build(&table, &config.encoding, &policy);
+        SwiftRouter {
+            config,
+            policy,
+            table,
+            engines,
+            forwarding,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &SwiftConfig {
+        &self.config
+    }
+
+    /// The current routing table.
+    pub fn routing_table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// The two-stage forwarding table.
+    pub fn forwarding(&self) -> &TwoStageTable {
+        &self.forwarding
+    }
+
+    /// The per-session inference engine for `peer`, if the session exists.
+    pub fn engine(&self, peer: PeerId) -> Option<&InferenceEngine> {
+        self.engines.get(&peer)
+    }
+
+    /// Every reroute action taken so far.
+    pub fn actions(&self) -> &[RerouteAction] {
+        &self.actions
+    }
+
+    /// Processes one per-prefix event received on the session with `peer`.
+    ///
+    /// Returns the reroute action if this event triggered an accepted
+    /// inference.
+    pub fn handle_event(&mut self, peer: PeerId, event: &ElementaryEvent) -> Option<RerouteAction> {
+        // Keep the routing table in sync (the FIB rebuild that BGP would do is
+        // intentionally *not* performed per event — that is the slow path SWIFT
+        // works around; see `resync_after_convergence`).
+        self.table.apply(peer, event);
+        let engine = self.engines.get_mut(&peer)?;
+        let (_, result) = engine.process(event);
+        let result = result?;
+        Some(self.apply_inference(peer, &result))
+    }
+
+    /// Processes a whole stream of events on one session.
+    pub fn handle_stream<'a, I>(&mut self, peer: PeerId, events: I) -> Vec<RerouteAction>
+    where
+        I: IntoIterator<Item = &'a ElementaryEvent>,
+    {
+        events
+            .into_iter()
+            .filter_map(|ev| self.handle_event(peer, ev))
+            .collect()
+    }
+
+    /// Installs the reroute rules for an accepted inference.
+    fn apply_inference(&mut self, peer: PeerId, result: &InferenceResult) -> RerouteAction {
+        let rules_installed = self.forwarding.install_reroute(&result.links.links);
+        let action = RerouteAction {
+            session: peer,
+            time: result.time,
+            links: result.links.links.clone(),
+            predicted: result.prediction.predicted.clone(),
+            rules_installed,
+        };
+        self.actions.push(action.clone());
+        action
+    }
+
+    /// The next-hop currently used to forward traffic for `prefix`.
+    pub fn forwarding_next_hop(&self, prefix: &Prefix) -> Option<PeerId> {
+        self.forwarding.lookup(prefix)
+    }
+
+    /// Called once BGP has fully reconverged: removes the SWIFT rules and
+    /// rebuilds the tags and default rules from the (now up-to-date) routing
+    /// table. Returns the number of SWIFT rules removed.
+    pub fn resync_after_convergence(&mut self) -> usize {
+        let removed = self.forwarding.clear_swift_rules();
+        self.forwarding =
+            TwoStageTable::build(&self.table, &self.config.encoding, &self.policy);
+        removed
+    }
+
+    /// Safety check (Lemma 3.3): returns the prefixes among `predicted` whose
+    /// *current* forwarding next-hop still offers a path crossing one of the
+    /// inferred links — ideally none after a reroute.
+    pub fn unsafe_reroutes(&self, predicted: &PrefixSet, links: &[AsLink]) -> PrefixSet {
+        predicted
+            .iter()
+            .filter(|prefix| {
+                let Some(nh) = self.forwarding_next_hop(prefix) else {
+                    return false;
+                };
+                let Some(rib) = self.table.adj_rib_in(nh) else {
+                    return false;
+                };
+                match rib.get(prefix) {
+                    Some(route) => links
+                        .iter()
+                        .any(|l| route.as_path().crosses_link_undirected(l)),
+                    None => false,
+                }
+            })
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EncodingConfig, InferenceConfig};
+    use swift_bgp::{AsPath, Asn, Route, RouteAttributes};
+
+    fn p(i: u32) -> Prefix {
+        Prefix::nth_slash24(i)
+    }
+
+    fn config() -> SwiftConfig {
+        SwiftConfig {
+            inference: InferenceConfig {
+                burst_start_threshold: 50,
+                burst_stop_threshold: 2,
+                triggering_threshold: 100,
+                use_history: false,
+                ..Default::default()
+            },
+            encoding: EncodingConfig {
+                min_prefixes_per_link: 50,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Fig. 1 routing table with `n` prefixes per remote origin and peer 2
+    /// preferred via LOCAL_PREF.
+    fn fig1_table(n: u32) -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.add_peer(PeerId(2), Asn(2));
+        t.add_peer(PeerId(3), Asn(3));
+        t.add_peer(PeerId(4), Asn(4));
+        let origins: [(&[u32], &[u32], &[u32]); 3] = [
+            (&[2, 5, 6], &[3, 6], &[4, 5, 6]),
+            (&[2, 5, 6, 7], &[3, 6, 7], &[4, 5, 6, 7]),
+            (&[2, 5, 6, 8], &[3, 6, 8], &[4, 5, 6, 8]),
+        ];
+        for (o, (via2, via3, via4)) in origins.iter().enumerate() {
+            for i in 0..n {
+                let idx = o as u32 * n + i;
+                let mut attrs2 = RouteAttributes::from_path(AsPath::new(via2.iter().copied()));
+                attrs2.local_pref = Some(200);
+                t.announce(PeerId(2), p(idx), Route::new(PeerId(2), attrs2, 0));
+                t.announce(
+                    PeerId(3),
+                    p(idx),
+                    Route::new(
+                        PeerId(3),
+                        RouteAttributes::from_path(AsPath::new(via3.iter().copied())),
+                        0,
+                    ),
+                );
+                t.announce(
+                    PeerId(4),
+                    p(idx),
+                    Route::new(
+                        PeerId(4),
+                        RouteAttributes::from_path(AsPath::new(via4.iter().copied())),
+                        0,
+                    ),
+                );
+            }
+        }
+        t
+    }
+
+    /// Withdrawals for the AS 6 and AS 8 prefixes (the Fig. 1 failure of (5,6)
+    /// as seen on the session with AS 2), 1 ms apart.
+    fn fig1_burst(n: u32) -> Vec<ElementaryEvent> {
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for i in 0..n {
+            events.push(ElementaryEvent::Withdraw {
+                timestamp: t,
+                prefix: p(i),
+            });
+            t += 1_000;
+        }
+        for i in 2 * n..3 * n {
+            events.push(ElementaryEvent::Withdraw {
+                timestamp: t,
+                prefix: p(i),
+            });
+            t += 1_000;
+        }
+        events
+    }
+
+    #[test]
+    fn router_reroutes_the_predicted_prefixes_with_few_rules() {
+        let table = fig1_table(100);
+        let mut router = SwiftRouter::new(config(), table, ReroutingPolicy::allow_all());
+        // Before the outage everything goes to peer 2 (LOCAL_PREF 200).
+        assert_eq!(router.forwarding_next_hop(&p(0)), Some(PeerId(2)));
+
+        let actions = router.handle_stream(PeerId(2), fig1_burst(100).iter());
+        assert_eq!(actions.len(), 1, "one accepted inference");
+        let action = &actions[0];
+        assert_eq!(action.session, PeerId(2));
+        assert!(action.links.contains(&AsLink::new(5, 6)));
+        // The AS 7 prefixes (indices 100..200) are predicted although not yet
+        // withdrawn.
+        assert!(action.predicted.contains(&p(150)));
+        // Rules installed are few — not one per prefix.
+        assert!(action.rules_installed <= 8, "got {}", action.rules_installed);
+        assert_eq!(router.actions().len(), 1);
+    }
+
+    #[test]
+    fn rerouted_traffic_avoids_the_failed_link() {
+        let table = fig1_table(100);
+        let mut router = SwiftRouter::new(config(), table, ReroutingPolicy::allow_all());
+        let actions = router.handle_stream(PeerId(2), fig1_burst(100).iter());
+        let action = &actions[0];
+        // Safety: no predicted prefix may still be forwarded onto a next-hop
+        // whose announced path crosses an inferred link.
+        let unsafe_set = router.unsafe_reroutes(&action.predicted, &action.links);
+        assert!(
+            unsafe_set.is_empty(),
+            "{} prefixes still forwarded through the outage",
+            unsafe_set.len()
+        );
+        // The AS 7 prefixes must now leave via peer 3 — the only neighbour
+        // avoiding both endpoints of (2,5)/(5,6) region... via its (3 6 7) path.
+        let nh = router.forwarding_next_hop(&p(150));
+        assert_eq!(nh, Some(PeerId(3)));
+    }
+
+    #[test]
+    fn resync_clears_swift_state() {
+        let table = fig1_table(100);
+        let mut router = SwiftRouter::new(config(), table, ReroutingPolicy::allow_all());
+        router.handle_stream(PeerId(2), fig1_burst(100).iter());
+        assert!(router.forwarding().swift_rule_count() > 0);
+        let removed = router.resync_after_convergence();
+        assert!(removed > 0);
+        assert_eq!(router.forwarding().swift_rule_count(), 0);
+    }
+
+    #[test]
+    fn uneventful_sessions_trigger_nothing() {
+        let table = fig1_table(100);
+        let mut router = SwiftRouter::new(config(), table, ReroutingPolicy::allow_all());
+        // A handful of withdrawals on peer 3's session: no burst, no action.
+        for i in 0..10u64 {
+            let act = router.handle_event(
+                PeerId(3),
+                &ElementaryEvent::Withdraw {
+                    timestamp: i * 60_000_000,
+                    prefix: p(i as u32),
+                },
+            );
+            assert!(act.is_none());
+        }
+        assert!(router.actions().is_empty());
+        // Unknown sessions are ignored gracefully.
+        assert!(router
+            .handle_event(
+                PeerId(99),
+                &ElementaryEvent::Withdraw {
+                    timestamp: 0,
+                    prefix: p(0),
+                }
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn engines_exist_per_session() {
+        let table = fig1_table(10);
+        let router = SwiftRouter::new(config(), table, ReroutingPolicy::allow_all());
+        assert!(router.engine(PeerId(2)).is_some());
+        assert!(router.engine(PeerId(3)).is_some());
+        assert!(router.engine(PeerId(4)).is_some());
+        assert!(router.engine(PeerId(9)).is_none());
+        assert_eq!(router.forwarding().stage1_len(), 30);
+    }
+}

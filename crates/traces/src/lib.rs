@@ -1,0 +1,25 @@
+//! # swift-traces
+//!
+//! Synthetic BGP trace corpus for the SWIFT reproduction — the stand-in for
+//! the RouteViews / RIPE RIS dataset (November 2016, 213 peering sessions)
+//! used by §2.2.1 and §6 of the paper.
+//!
+//! * [`model`] — the calibrated burst size / rate / shape distributions;
+//! * [`corpus`] — the two-phase corpus generator (catalog + per-session
+//!   materialisation) and the vantage routing-table builder;
+//! * [`extract`] — the sliding-window burst extraction of §2.2.1.
+//!
+//! The corpus consumes and produces only `swift-bgp` types, so everything that
+//! runs on it (the SWIFT inference engine in particular) exercises exactly the
+//! code path it would on parsed MRT data.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod corpus;
+pub mod extract;
+pub mod model;
+
+pub use corpus::{BurstMeta, Corpus, MaterializedBurst, SessionMeta, SessionTrace, TraceConfig};
+pub use extract::{extract_bursts, extract_from_times, ExtractConfig, ExtractedBurst};
+pub use model::{BurstRateModel, BurstShape, BurstSizeModel};

@@ -1,0 +1,26 @@
+//! # swift
+//!
+//! Umbrella crate of the SWIFT reproduction (Holterbach et al., *SWIFT:
+//! Predictive Fast Reroute*, SIGCOMM 2017). It re-exports the workspace crates
+//! so downstream users can depend on a single crate:
+//!
+//! * [`bgp`] — BGP substrate (prefixes, AS paths, messages, RIBs, sessions);
+//! * [`topology`] — AS-level topology generation;
+//! * [`bgpsim`] — policy-compliant control-plane simulator;
+//! * [`traces`] — synthetic RouteViews/RIS-like trace corpus;
+//! * [`core`] — the SWIFT inference algorithm and encoding scheme;
+//! * [`dataplane`] — data-plane convergence/downtime model.
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the experiment harness reproducing every table and figure of the paper.
+
+#![deny(missing_docs)]
+
+pub use swift_bgp as bgp;
+pub use swift_bgpsim as bgpsim;
+pub use swift_core as core;
+pub use swift_dataplane as dataplane;
+pub use swift_topology as topology;
+pub use swift_traces as traces;
+
+pub use swift_core::{RerouteAction, SwiftConfig, SwiftRouter};
