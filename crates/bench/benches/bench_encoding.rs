@@ -19,7 +19,11 @@ fn table(n: u32) -> RoutingTable {
         };
         let mut attrs = RouteAttributes::from_path(via2);
         attrs.local_pref = Some(200);
-        t.announce(PeerId(2), Prefix::nth_slash24(i), Route::new(PeerId(2), attrs, 0));
+        t.announce(
+            PeerId(2),
+            Prefix::nth_slash24(i),
+            Route::new(PeerId(2), attrs, 0),
+        );
         t.announce(
             PeerId(3),
             Prefix::nth_slash24(i),

@@ -3,7 +3,7 @@
 //!
 //! `cargo run -p swift-bench --release --bin exp_ablation`
 
-use swift_bench::{evaluate_corpus, evaluate_burst, pct};
+use swift_bench::{evaluate_burst, evaluate_corpus, pct};
 use swift_core::encoding::{ReroutingPolicy, TwoStageTable};
 use swift_core::metrics::percentile;
 use swift_core::{EncodingConfig, InferenceConfig};
@@ -47,7 +47,10 @@ fn main() {
         ("history off", InferenceConfig::without_history()),
     ] {
         let evals = evaluate_corpus(&corpus, &config);
-        let at: Vec<f64> = evals.iter().map(|e| e.withdrawals_at_inference as f64).collect();
+        let at: Vec<f64> = evals
+            .iter()
+            .map(|e| e.withdrawals_at_inference as f64)
+            .collect();
         let fpr: Vec<f64> = evals.iter().map(|e| e.localization.fpr()).collect();
         println!(
             "  {label}: {} inferences, median trigger at {:.0} withdrawals, median FPR {}",
@@ -57,7 +60,9 @@ fn main() {
         );
     }
 
-    println!("\nAblation C: encoding link filter and protected depth (mean encoding performance)\n");
+    println!(
+        "\nAblation C: encoding link filter and protected depth (mean encoding performance)\n"
+    );
     let infer = InferenceConfig::default();
     for min_prefixes in [500usize, 1_500, 5_000] {
         for depth in [3usize, 4] {
@@ -80,7 +85,9 @@ fn main() {
             let mean = perfs.iter().sum::<f64>() / perfs.len().max(1) as f64;
             println!(
                 "  min prefixes/link {:>5}, depth {} -> mean encoding performance {}",
-                min_prefixes, depth, pct(mean)
+                min_prefixes,
+                depth,
+                pct(mean)
             );
         }
     }

@@ -20,7 +20,11 @@ fn main() {
     let draws = 500;
     println!(
         "{:>9} | {:>12} | {:>26} | {:>26} | {:>26}",
-        "sessions", "min size", "median [5th, 95th] (5k)", "median [5th, 95th] (10k)", "median [5th, 95th] (25k)"
+        "sessions",
+        "min size",
+        "median [5th, 95th] (5k)",
+        "median [5th, 95th] (10k)",
+        "median [5th, 95th] (25k)"
     );
     println!("{}", "-".repeat(110));
     for n_sessions in [1usize, 5, 15, 30] {

@@ -12,7 +12,10 @@ use swift_traces::Corpus;
 fn main() {
     let corpus = Corpus::generate(catalog_trace_config());
     let bursts: Vec<_> = corpus.all_bursts().collect();
-    println!("Fig 2(b): burst durations from the {}-burst catalog\n", bursts.len());
+    println!(
+        "Fig 2(b): burst durations from the {}-burst catalog\n",
+        bursts.len()
+    );
 
     let durations = |min: usize, max: usize| -> Vec<f64> {
         bursts
@@ -23,7 +26,10 @@ fn main() {
     };
     let small = durations(1_500, 10_000);
     let large = durations(10_000, usize::MAX);
-    println!("{:>22} | {:>10} | {:>10}", "duration percentile", "<=10k", ">10k");
+    println!(
+        "{:>22} | {:>10} | {:>10}",
+        "duration percentile", "<=10k", ">10k"
+    );
     println!("{}", "-".repeat(50));
     for q in [0.25, 0.50, 0.75, 0.90, 0.99] {
         println!(
@@ -34,18 +40,36 @@ fn main() {
         );
     }
 
-    let all: Vec<f64> = bursts.iter().map(|b| b.duration() as f64 / SECOND as f64).collect();
+    let all: Vec<f64> = bursts
+        .iter()
+        .map(|b| b.duration() as f64 / SECOND as f64)
+        .collect();
     let over = |secs: f64| all.iter().filter(|d| **d > secs).count() as f64 / all.len() as f64;
-    println!("\nBursts longer than 10 s: {} (paper: 37%)", pct(over(10.0)));
+    println!(
+        "\nBursts longer than 10 s: {} (paper: 37%)",
+        pct(over(10.0))
+    );
     println!("Bursts longer than 30 s: {} (paper: 9.7%)", pct(over(30.0)));
 
     let tail_share: Vec<f64> = bursts.iter().map(|b| b.shape.tail).collect();
     let middle_share: Vec<f64> = bursts.iter().map(|b| b.shape.middle).collect();
     let ge = |v: &Vec<f64>, x: f64| v.iter().filter(|s| **s >= x).count() as f64 / v.len() as f64;
-    println!("\nBursts with >=26% of withdrawals in the middle: {} (paper: 50%)", pct(ge(&middle_share, 0.26)));
-    println!("Bursts with >=10% of withdrawals in the tail:   {} (paper: 50%)", pct(ge(&tail_share, 0.10)));
-    println!("Bursts with >=32% of withdrawals in the tail:   {} (paper: 25%)", pct(ge(&tail_share, 0.32)));
+    println!(
+        "\nBursts with >=26% of withdrawals in the middle: {} (paper: 50%)",
+        pct(ge(&middle_share, 0.26))
+    );
+    println!(
+        "Bursts with >=10% of withdrawals in the tail:   {} (paper: 50%)",
+        pct(ge(&tail_share, 0.10))
+    );
+    println!(
+        "Bursts with >=32% of withdrawals in the tail:   {} (paper: 25%)",
+        pct(ge(&tail_share, 0.32))
+    );
 
     let popular = bursts.iter().filter(|b| b.includes_popular).count() as f64 / bursts.len() as f64;
-    println!("\nBursts including popular-origin prefixes: {} (paper: 84%)", pct(popular));
+    println!(
+        "\nBursts including popular-origin prefixes: {} (paper: 84%)",
+        pct(popular)
+    );
 }

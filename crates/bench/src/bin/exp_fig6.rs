@@ -29,10 +29,22 @@ fn main() {
         let tprs: Vec<f64> = evals.iter().map(|e| e.localization.tpr()).collect();
         let fprs: Vec<f64> = evals.iter().map(|e| e.localization.fpr()).collect();
         println!("{label}: {} bursts inferred", evals.len());
-        println!("  good (TPR>=50%, FPR<50%):          {}", pct(share(Quadrant::Good)));
-        println!("  overestimate (TPR>=50%, FPR>=50%): {}", pct(share(Quadrant::Overestimate)));
-        println!("  underestimate (TPR<50%, FPR<50%):  {}", pct(share(Quadrant::Underestimate)));
-        println!("  bad (TPR<50%, FPR>=50%):           {}", pct(share(Quadrant::Bad)));
+        println!(
+            "  good (TPR>=50%, FPR<50%):          {}",
+            pct(share(Quadrant::Good))
+        );
+        println!(
+            "  overestimate (TPR>=50%, FPR>=50%): {}",
+            pct(share(Quadrant::Overestimate))
+        );
+        println!(
+            "  underestimate (TPR<50%, FPR<50%):  {}",
+            pct(share(Quadrant::Underestimate))
+        );
+        println!(
+            "  bad (TPR<50%, FPR>=50%):           {}",
+            pct(share(Quadrant::Bad))
+        );
         println!(
             "  median TPR {} / median FPR {}\n",
             pct(percentile(&tprs, 0.5).unwrap_or(0.0)),

@@ -57,6 +57,8 @@ fn main() {
             100.0 * mean_large
         );
     }
-    println!("\nPaper reference: with 18 bits SWIFT reroutes 98.7% of predicted prefixes (median),");
+    println!(
+        "\nPaper reference: with 18 bits SWIFT reroutes 98.7% of predicted prefixes (median),"
+    );
     println!("73.9% on average over all bursts and 84.0% on average for bursts >= 10k.");
 }

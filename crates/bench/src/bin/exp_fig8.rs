@@ -46,8 +46,14 @@ fn main() {
         }
     }
 
-    println!("Fig 8: learning-time CDF over {} withdrawals\n", bgp_times.len());
-    println!("{:>11} | {:>10} | {:>10}", "percentile", "SWIFT (s)", "BGP (s)");
+    println!(
+        "Fig 8: learning-time CDF over {} withdrawals\n",
+        bgp_times.len()
+    );
+    println!(
+        "{:>11} | {:>10} | {:>10}",
+        "percentile", "SWIFT (s)", "BGP (s)"
+    );
     println!("{}", "-".repeat(38));
     for q in [0.25, 0.50, 0.75, 0.90, 0.99] {
         println!(
@@ -60,7 +66,9 @@ fn main() {
     println!("\nPaper reference: SWIFT learns 50% of withdrawals within 2 s and 75% within 9 s;");
     println!("BGP needs 13 s and 32 s respectively.");
 
-    println!("\nData-plane updates per inference (one rule per inferred link and backup next-hop):");
+    println!(
+        "\nData-plane updates per inference (one rule per inferred link and backup next-hop):"
+    );
     for q in [0.5, 0.9] {
         let links = percentile_usize(&links_per_inference, q).unwrap_or(0);
         let rules = links * 16;

@@ -29,7 +29,10 @@ fn main() {
     let swifted_series = swifted.loss_series(&probes);
 
     println!("Fig 9(a): packet loss over time, 290k-prefix remote outage\n");
-    println!("{:>8} | {:>14} | {:>14}", "time (s)", "BGP loss", "SWIFT loss");
+    println!(
+        "{:>8} | {:>14} | {:>14}",
+        "time (s)", "BGP loss", "SWIFT loss"
+    );
     println!("{}", "-".repeat(44));
     for t_s in [0u64, 1, 2, 5, 10, 20, 40, 60, 80, 100, 110, 120] {
         let t = t_s * SECOND;
@@ -42,6 +45,11 @@ fn main() {
     }
     let v = vanilla.completion as f64 / SECOND as f64;
     let s = swifted.completion as f64 / SECOND as f64;
-    println!("\nConvergence time: vanilla {:.1} s, SWIFTED {:.2} s -> {:.1}% reduction", v, s, 100.0 * (1.0 - s / v));
+    println!(
+        "\nConvergence time: vanilla {:.1} s, SWIFTED {:.2} s -> {:.1}% reduction",
+        v,
+        s,
+        100.0 * (1.0 - s / v)
+    );
     println!("Paper reference: 109 s vs ~2 s, a 98% speed-up.");
 }

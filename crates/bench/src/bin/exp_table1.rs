@@ -12,18 +12,28 @@ use swift_dataplane::{pick_probes, vanilla_convergence, FibCostModel};
 fn main() {
     println!("Table 1: data-plane downtime of a vanilla router vs burst size");
     println!("(100 random probes; per-prefix pacing calibrated on the paper's testbed)\n");
-    println!("{:>12} | {:>15} | {:>15} | {:>15}", "Withdrawals", "downtime (s)", "fast FIB (s)", "slow FIB (s)");
+    println!(
+        "{:>12} | {:>15} | {:>15} | {:>15}",
+        "Withdrawals", "downtime (s)", "fast FIB (s)", "slow FIB (s)"
+    );
     println!("{}", "-".repeat(66));
     for n in [10_000u32, 50_000, 100_000, 290_000] {
         let affected: Vec<Prefix> = (0..n).map(Prefix::nth_slash24).collect();
         let mut row = Vec::new();
-        for cost in [FibCostModel::default(), FibCostModel::fast(), FibCostModel::slow()] {
+        for cost in [
+            FibCostModel::default(),
+            FibCostModel::fast(),
+            FibCostModel::slow(),
+        ] {
             let result = vanilla_convergence(&affected, &cost);
             let probes = pick_probes(&affected, 100, 0xbeef);
             let downtime = result.max_downtime(&probes) as f64 / SECOND as f64;
             row.push(downtime);
         }
-        println!("{:>12} | {:>15.1} | {:>15.1} | {:>15.1}", n, row[0], row[1], row[2]);
+        println!(
+            "{:>12} | {:>15.1} | {:>15.1} | {:>15.1}",
+            n, row[0], row[1], row[2]
+        );
     }
     println!("\nPaper reference: 10k -> 3.8 s, 50k -> 19.0 s, 100k -> 37.9 s, 290k -> 109.0 s");
 }

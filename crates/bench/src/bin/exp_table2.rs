@@ -47,7 +47,10 @@ fn print_block(label: &str, evals: &[&BurstEvaluation]) {
 fn main() {
     let corpus = Corpus::generate(eval_trace_config());
     let evals = evaluate_corpus(&corpus, &InferenceConfig::default());
-    println!("Table 2: prediction accuracy with the history model ({} bursts inferred)", evals.len());
+    println!(
+        "Table 2: prediction accuracy with the history model ({} bursts inferred)",
+        evals.len()
+    );
     // The corpus tables are scaled down ~10x vs the full Internet table, so the
     // paper's 15k small/large split is applied at 10k here (see EXPERIMENTS.md).
     let small: Vec<&BurstEvaluation> = evals.iter().filter(|e| e.burst_size < 10_000).collect();

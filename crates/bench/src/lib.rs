@@ -86,10 +86,7 @@ pub fn evaluate_burst(
     burst: &MaterializedBurst,
     config: &InferenceConfig,
 ) -> Option<BurstEvaluation> {
-    let mut engine = InferenceEngine::new(
-        config.clone(),
-        session.rib.iter().map(|(p, a)| (p, a)),
-    );
+    let mut engine = InferenceEngine::new(config.clone(), session.rib.iter().map(|(p, a)| (p, a)));
     let events: Vec<_> = burst.stream.elementary_events().collect();
     let burst_start = burst.stream.start().unwrap_or(0);
 

@@ -87,12 +87,9 @@ impl AsLink {
 
     /// The endpoint shared with `other`, if any.
     pub fn common_endpoint(&self, other: &AsLink) -> Option<Asn> {
-        for a in [self.from, self.to] {
-            if other.has_endpoint(a) {
-                return Some(a);
-            }
-        }
-        None
+        [self.from, self.to]
+            .into_iter()
+            .find(|&a| other.has_endpoint(a))
     }
 }
 

@@ -78,6 +78,10 @@ impl Prefix {
     }
 
     /// The prefix length in bits.
+    ///
+    /// A `len` of 0 is the default route, not an "empty" prefix, so there is
+    /// deliberately no `is_empty` counterpart.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -370,7 +374,10 @@ mod tests {
         assert_eq!(hi.to_string(), "10.128.0.0/9");
         assert_eq!(lo.parent(), Some(p));
         assert_eq!(hi.parent(), Some(p));
-        assert!(Prefix::from_octets(1, 2, 3, 4, 32).unwrap().split().is_none());
+        assert!(Prefix::from_octets(1, 2, 3, 4, 32)
+            .unwrap()
+            .split()
+            .is_none());
         assert!(Prefix::DEFAULT.parent().is_none());
     }
 

@@ -58,20 +58,9 @@ impl Route {
         self.attrs
             .effective_local_pref()
             .cmp(&other.attrs.effective_local_pref())
-            .then_with(|| {
-                other
-                    .attrs
-                    .as_path
-                    .len()
-                    .cmp(&self.attrs.as_path.len())
-            })
+            .then_with(|| other.attrs.as_path.len().cmp(&self.attrs.as_path.len()))
             .then_with(|| other.attrs.origin.rank().cmp(&self.attrs.origin.rank()))
-            .then_with(|| {
-                other
-                    .attrs
-                    .effective_med()
-                    .cmp(&self.attrs.effective_med())
-            })
+            .then_with(|| other.attrs.effective_med().cmp(&self.attrs.effective_med()))
             .then_with(|| other.learned_at.cmp(&self.learned_at))
             .then_with(|| other.peer.cmp(&self.peer))
     }
@@ -218,7 +207,10 @@ impl LocRib {
 
     /// All candidate routes for a prefix (unordered).
     pub fn candidates(&self, prefix: &Prefix) -> impl Iterator<Item = &Route> {
-        self.candidates.get(prefix).into_iter().flat_map(|m| m.values())
+        self.candidates
+            .get(prefix)
+            .into_iter()
+            .flat_map(|m| m.values())
     }
 
     /// The best route for a prefix under the BGP decision process.
@@ -337,7 +329,10 @@ mod tests {
         // Peer 2 has the shortest path.
         assert_eq!(rib.best(&p(1)).unwrap().peer, PeerId(2));
         // Excluding peer 2, peers 1 and 3 tie on length; lowest peer id wins.
-        assert_eq!(rib.best_excluding(&p(1), PeerId(2)).unwrap().peer, PeerId(1));
+        assert_eq!(
+            rib.best_excluding(&p(1), PeerId(2)).unwrap().peer,
+            PeerId(1)
+        );
         assert_eq!(rib.candidates(&p(1)).count(), 3);
     }
 

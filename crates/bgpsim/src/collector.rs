@@ -91,11 +91,9 @@ impl GroundTruthBurst {
             for prefix in topology.originated_prefixes(cap.origin) {
                 let msg = match &cap.path {
                     None => BgpMessage::withdraw(t, *prefix),
-                    Some(path) => BgpMessage::announce(
-                        t,
-                        *prefix,
-                        RouteAttributes::from_path(path.clone()),
-                    ),
+                    Some(path) => {
+                        BgpMessage::announce(t, *prefix, RouteAttributes::from_path(path.clone()))
+                    }
                 };
                 messages.push(msg);
                 t += gap;

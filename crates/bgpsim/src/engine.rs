@@ -221,7 +221,7 @@ impl Engine {
         let Some(speaker) = self.speakers.get(&vantage) else {
             return table;
         };
-        for (&neighbor, _) in &speaker.neighbors {
+        for &neighbor in speaker.neighbors.keys() {
             table.add_peer(PeerId(neighbor.value()), neighbor);
         }
         for (idx, state) in speaker.origins.iter().enumerate() {
@@ -318,10 +318,7 @@ mod tests {
         // Peer 2's Adj-RIB-In carries routes to AS 6/7/8 prefixes via (2 5 6 ...).
         let rib2 = table.adj_rib_in(PeerId(2)).unwrap();
         let p6 = e.topology().originated_prefixes(Asn(6))[0];
-        assert_eq!(
-            rib2.get(&p6).unwrap().as_path(),
-            &AsPath::new([2u32, 5, 6])
-        );
+        assert_eq!(rib2.get(&p6).unwrap().as_path(), &AsPath::new([2u32, 5, 6]));
         let p8 = e.topology().originated_prefixes(Asn(8))[0];
         assert_eq!(
             rib2.get(&p8).unwrap().as_path(),

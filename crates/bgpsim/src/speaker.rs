@@ -177,7 +177,8 @@ impl Speaker {
             .rib_in
             .iter()
             .filter_map(|(nbr, path)| {
-                self.relationship(*nbr).map(|rel| (local_pref(rel), *nbr, path))
+                self.relationship(*nbr)
+                    .map(|rel| (local_pref(rel), *nbr, path))
             })
             .max_by(|a, b| {
                 a.0.cmp(&b.0)

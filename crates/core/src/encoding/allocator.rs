@@ -28,10 +28,7 @@ pub struct EncodingPlan {
 
 impl EncodingPlan {
     /// Builds a plan from explicit `(position, link, prefix count)` statistics.
-    pub fn from_counts(
-        counts: &HashMap<(usize, AsLink), usize>,
-        config: &EncodingConfig,
-    ) -> Self {
+    pub fn from_counts(counts: &HashMap<(usize, AsLink), usize>, config: &EncodingConfig) -> Self {
         let mut per_position: Vec<BTreeMap<AsLink, u64>> = vec![BTreeMap::new(); config.max_depth];
 
         // Candidates above the prefix-count threshold, within the encoded
@@ -177,7 +174,9 @@ mod tests {
         }
     }
 
-    fn counts(entries: &[((usize, (u32, u32)), usize)]) -> HashMap<(usize, AsLink), usize> {
+    type CountEntry = ((usize, (u32, u32)), usize);
+
+    fn counts(entries: &[CountEntry]) -> HashMap<(usize, AsLink), usize> {
         entries
             .iter()
             .map(|((pos, (a, b)), c)| ((*pos, AsLink::new(*a, *b)), *c))
@@ -290,6 +289,9 @@ mod tests {
         let plan = EncodingPlan::from_counts(&HashMap::new(), &cfg(18, 1_500));
         assert_eq!(plan.total_encoded_links(), 0);
         assert_eq!(plan.total_path_bits(), 0);
-        assert_eq!(plan.path_codes(&AsPath::new([1u32, 2, 3])), vec![0, 0, 0, 0]);
+        assert_eq!(
+            plan.path_codes(&AsPath::new([1u32, 2, 3])),
+            vec![0, 0, 0, 0]
+        );
     }
 }

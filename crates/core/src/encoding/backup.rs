@@ -237,7 +237,10 @@ mod tests {
         // origin, which every path must visit, so only (3,6) is protectable.
         assert_eq!(entry.primary, PeerId(3));
         assert_eq!(entry.backups[0], Some(PeerId(9)));
-        assert_eq!(entry.backups[1], None, "origin-adjacent links cannot be avoided");
+        assert_eq!(
+            entry.backups[1], None,
+            "origin-adjacent links cannot be avoided"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl TagLayout {
 
     /// Bit offset of the group for AS-path position `pos` (1-based).
     fn position_shift(&self, pos: usize) -> u32 {
-        assert!(pos >= 1 && pos <= self.positions(), "position {pos} out of range");
+        assert!(
+            pos >= 1 && pos <= self.positions(),
+            "position {pos} out of range"
+        );
         let nh_total = u32::from(self.nexthop_bits) * self.nexthop_slots as u32;
         let before: u32 = self.position_bits[..pos - 1]
             .iter()

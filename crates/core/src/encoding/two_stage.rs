@@ -123,6 +123,13 @@ impl TwoStageTable {
         self.stage1.get(prefix).copied()
     }
 
+    /// The dense tag slot assigned to `peer`, if the peer is indexed.
+    ///
+    /// Slot 0 is reserved for "no next-hop", so indexed peers start at 1.
+    pub fn nexthop_slot(&self, peer: PeerId) -> Option<u64> {
+        self.nexthop_index.get(&peer).copied()
+    }
+
     /// The encoding plan in use.
     pub fn plan(&self) -> &EncodingPlan {
         &self.plan
@@ -331,7 +338,10 @@ mod tests {
         // so protect position 1's link (2,5) instead where peer 3 qualifies.
         let installed = ts.install_reroute(&[AsLink::new(2, 5)]);
         assert!(installed >= 1);
-        assert!(installed <= 2, "rules are per (position, backup), not per prefix");
+        assert!(
+            installed <= 2,
+            "rules are per (position, backup), not per prefix"
+        );
         assert_eq!(ts.swift_rule_count(), installed);
         // Every prefix is now forwarded to peer 3 (the only endpoint-avoiding
         // backup for (2,5)).
@@ -368,7 +378,10 @@ mod tests {
         // Unknown link: nothing reroutable.
         assert_eq!(ts.encoding_performance(&all, &[AsLink::new(77, 88)]), 0.0);
         // Empty prediction is trivially fully covered.
-        assert_eq!(ts.encoding_performance(&PrefixSet::new(), &[AsLink::new(2, 5)]), 1.0);
+        assert_eq!(
+            ts.encoding_performance(&PrefixSet::new(), &[AsLink::new(2, 5)]),
+            1.0
+        );
     }
 
     #[test]
@@ -398,11 +411,7 @@ mod tests {
         // 70 peers with a 6-bit next-hop slot (max 64, minus the reserved 0).
         for peer in 1..=70u32 {
             table.add_peer(PeerId(peer), Asn(peer));
-            table.announce(
-                PeerId(peer),
-                p(peer),
-                route(peer, &[peer, 200]),
-            );
+            table.announce(PeerId(peer), p(peer), route(peer, &[peer, 200]));
         }
         let ts = TwoStageTable::build(&table, &config(), &ReroutingPolicy::allow_all());
         assert!(ts.stage2_len() <= 63);

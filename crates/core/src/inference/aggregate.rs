@@ -33,11 +33,7 @@ impl InferredLinks {
     /// The ASes appearing as an endpoint of any inferred link. Backup paths
     /// must avoid all of them (§4.2 safety rule).
     pub fn endpoint_ases(&self) -> Vec<Asn> {
-        let mut ases: Vec<Asn> = self
-            .links
-            .iter()
-            .flat_map(|l| [l.from, l.to])
-            .collect();
+        let mut ases: Vec<Asn> = self.links.iter().flat_map(|l| [l.from, l.to]).collect();
         ases.sort();
         ases.dedup();
         ases
@@ -48,12 +44,9 @@ impl InferredLinks {
     /// requirement and return `None` unless trivially shared).
     pub fn common_endpoint(&self) -> Option<Asn> {
         let first = self.links.first()?;
-        for candidate in [first.from, first.to] {
-            if self.links.iter().all(|l| l.has_endpoint(candidate)) {
-                return Some(candidate);
-            }
-        }
-        None
+        [first.from, first.to]
+            .into_iter()
+            .find(|&candidate| self.links.iter().all(|l| l.has_endpoint(candidate)))
     }
 }
 
@@ -214,17 +207,18 @@ mod tests {
         // Same router-failure scenario reduced to two disjoint downstream
         // paths: the seed alone explains half the withdrawals, the aggregate
         // explains all of them.
-        let mut c = seed_rib(&[(&[2, 5, 6, 7], 10), (&[4, 6, 8], 10), (&[2, 5], 5), (&[4, 9], 5)]);
+        let mut c = seed_rib(&[
+            (&[2, 5, 6, 7], 10),
+            (&[4, 6, 8], 10),
+            (&[2, 5], 5),
+            (&[4, 9], 5),
+        ]);
         for i in 0..20 {
             c.on_withdraw(p(i));
         }
         let cfg = InferenceConfig::default();
         let inferred = infer_links(&c, &cfg);
-        let seed_only = crate::inference::fit_score::score_link_set(
-            &c,
-            &[AsLink::new(4, 6)],
-            &cfg,
-        );
+        let seed_only = crate::inference::fit_score::score_link_set(&c, &[AsLink::new(4, 6)], &cfg);
         assert!(inferred.score.fs > seed_only.fs);
     }
 
@@ -232,7 +226,12 @@ mod tests {
     fn aggregation_does_not_swallow_unaffected_siblings() {
         // Only (6,8) fails; (6,7) keeps all its prefixes. Aggregating (6,7)
         // would lower the fit score, so it must not be included.
-        let mut c = seed_rib(&[(&[2, 5, 6, 7], 10), (&[2, 5, 6, 8], 10), (&[2, 5], 5), (&[2, 5, 6], 5)]);
+        let mut c = seed_rib(&[
+            (&[2, 5, 6, 7], 10),
+            (&[2, 5, 6, 8], 10),
+            (&[2, 5], 5),
+            (&[2, 5, 6], 5),
+        ]);
         for i in 10..20 {
             c.on_withdraw(p(i));
         }

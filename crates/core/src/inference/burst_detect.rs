@@ -200,9 +200,8 @@ mod tests {
         let mut d = detector(5, 1);
         let mut started_at = None;
         for i in 0..10u64 {
-            match d.on_withdrawal(i * SECOND / 10) {
-                BurstEvent::Started(t) => started_at = Some((i, t)),
-                _ => {}
+            if let BurstEvent::Started(t) = d.on_withdrawal(i * SECOND / 10) {
+                started_at = Some((i, t))
             }
         }
         let (i, t) = started_at.expect("burst should start");
@@ -241,7 +240,7 @@ mod tests {
     fn window_eviction_is_time_based() {
         let mut d = detector(3, 0);
         d.on_withdrawal(0);
-        d.on_withdrawal(1 * SECOND);
+        d.on_withdrawal(SECOND);
         assert_eq!(d.window_count(), 2);
         d.on_withdrawal(15 * SECOND);
         // The first two fall outside the 10 s window.
@@ -272,7 +271,7 @@ mod tests {
         assert_eq!(h.percentile(0.0), Some(1));
         // Suggested thresholds respect the floor.
         assert_eq!(h.suggested_start_threshold(1_500), 1_500);
-        assert_eq!(h.suggested_stop_threshold(9), 90.max(9));
+        assert_eq!(h.suggested_stop_threshold(9), 90);
         let mut big = WindowHistory::new();
         for c in [0, 0, 0, 5_000] {
             big.record(c);

@@ -110,7 +110,9 @@ impl LinkCounters {
 
     /// Every link currently known to the counters (withdrawn or still routed).
     pub fn all_links(&self) -> impl Iterator<Item = &AsLink> {
-        self.w.keys().chain(self.p.keys().filter(move |l| !self.w.contains_key(*l)))
+        self.w
+            .keys()
+            .chain(self.p.keys().filter(move |l| !self.w.contains_key(*l)))
     }
 
     /// The current path of `prefix`, if still routed.
@@ -224,11 +226,19 @@ mod tests {
         assert_eq!(c.w(&AsLink::new(5, 6)), 11);
         assert_eq!(c.p(&AsLink::new(5, 6)), 0);
         assert_eq!(c.w(&AsLink::new(2, 5)), 11);
-        assert_eq!(c.p(&AsLink::new(2, 5)), 11, "AS5 prefix + 10 updated AS7 prefixes");
+        assert_eq!(
+            c.p(&AsLink::new(2, 5)),
+            11,
+            "AS5 prefix + 10 updated AS7 prefixes"
+        );
         assert_eq!(c.w(&AsLink::new(6, 8)), 10);
         assert_eq!(c.p(&AsLink::new(6, 8)), 0);
         assert_eq!(c.w(&AsLink::new(6, 7)), 0);
-        assert_eq!(c.p(&AsLink::new(6, 7)), 10, "re-announced paths still end at (6,7)... via 3");
+        assert_eq!(
+            c.p(&AsLink::new(6, 7)),
+            10,
+            "re-announced paths still end at (6,7)... via 3"
+        );
         assert_eq!(c.withdrawn_count(), 11);
         assert_eq!(c.routed_count(), 12);
     }
@@ -294,7 +304,11 @@ mod tests {
         // Adding an upstream link brings in its extra still-routed prefixes.
         let with_upstream = [AsLink::new(2, 5), AsLink::new(5, 6)];
         assert_eq!(c.w_union(&with_upstream), 11);
-        assert_eq!(c.p_union(&with_upstream), 11, "AS 5 prefix + 10 AS 7 prefixes");
+        assert_eq!(
+            c.p_union(&with_upstream),
+            11,
+            "AS 5 prefix + 10 AS 7 prefixes"
+        );
         assert_eq!(c.w_union(&[]), 0);
         assert_eq!(c.p_union(&[]), 0);
     }

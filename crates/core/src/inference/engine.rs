@@ -131,9 +131,7 @@ impl InferenceEngine {
                 self.counters.on_withdraw(*prefix);
                 match self.detector.on_withdrawal(*timestamp) {
                     BurstEvent::None => (EngineStatus::Idle, None),
-                    BurstEvent::Started(_) | BurstEvent::Ongoing => {
-                        self.maybe_infer(*timestamp)
-                    }
+                    BurstEvent::Started(_) | BurstEvent::Ongoing => self.maybe_infer(*timestamp),
                 }
             }
         }
@@ -341,8 +339,10 @@ mod tests {
     #[test]
     fn force_infer_at_end_of_burst_is_exact() {
         let table = rib(500);
-        let mut engine =
-            InferenceEngine::new(InferenceConfig::default(), table.iter().map(|(a, b)| (a, b)));
+        let mut engine = InferenceEngine::new(
+            InferenceConfig::default(),
+            table.iter().map(|(a, b)| (a, b)),
+        );
         // Deliver the whole burst (all 500 prefixes beyond (5,6) withdrawn).
         for i in 0..500u32 {
             engine.process(&ElementaryEvent::Withdraw {

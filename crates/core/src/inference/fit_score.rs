@@ -59,7 +59,11 @@ pub fn score_link(counters: &LinkCounters, link: &AsLink, config: &InferenceConf
 /// [`LinkCounters::p_union`]: `WS(S) = W(S)/W(t)` and
 /// `PS(S) = W(S) / (W(S) + P(S))`, where `W(S)`/`P(S)` count each prefix once
 /// even if its path crosses several links of the set.
-pub fn score_link_set(counters: &LinkCounters, links: &[AsLink], config: &InferenceConfig) -> Score {
+pub fn score_link_set(
+    counters: &LinkCounters,
+    links: &[AsLink],
+    config: &InferenceConfig,
+) -> Score {
     let total = counters.total_withdrawals();
     let w = counters.w_union(links);
     let p = counters.p_union(links);
@@ -203,7 +207,10 @@ mod tests {
         let set = [AsLink::new(5, 6), AsLink::new(6, 8)];
         let s = score_link_set(&c, &set, &cfg);
         assert!((s.ws - 1.0).abs() < 1e-12, "11 of 11 withdrawals explained");
-        assert!((s.ps - 1.0).abs() < 1e-12, "nothing crossing the set survives");
+        assert!(
+            (s.ps - 1.0).abs() < 1e-12,
+            "nothing crossing the set survives"
+        );
         // Adding a link whose prefixes survived (the re-announced AS 7 prefixes
         // still end with (6,7) hops via AS 3... but that path is (2 5 3 6 7), so
         // its (6,7) hop keeps P(6,7) > 0) dilutes PS and lowers the score.

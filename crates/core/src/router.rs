@@ -140,8 +140,7 @@ impl SwiftRouter {
     /// table. Returns the number of SWIFT rules removed.
     pub fn resync_after_convergence(&mut self) -> usize {
         let removed = self.forwarding.clear_swift_rules();
-        self.forwarding =
-            TwoStageTable::build(&self.table, &self.config.encoding, &self.policy);
+        self.forwarding = TwoStageTable::build(&self.table, &self.config.encoding, &self.policy);
         removed
     }
 
@@ -275,7 +274,11 @@ mod tests {
         // withdrawn.
         assert!(action.predicted.contains(&p(150)));
         // Rules installed are few — not one per prefix.
-        assert!(action.rules_installed <= 8, "got {}", action.rules_installed);
+        assert!(
+            action.rules_installed <= 8,
+            "got {}",
+            action.rules_installed
+        );
         assert_eq!(router.actions().len(), 1);
     }
 

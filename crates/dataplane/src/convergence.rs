@@ -42,10 +42,7 @@ impl ConvergenceResult {
     /// `(time, fraction of probes still down)` right after it. Starts at
     /// `(0, 1.0)`.
     pub fn loss_series(&self, probes: &[Prefix]) -> Vec<(Timestamp, f64)> {
-        let mut times: Vec<Timestamp> = probes
-            .iter()
-            .filter_map(|p| self.downtime(p))
-            .collect();
+        let mut times: Vec<Timestamp> = probes.iter().filter_map(|p| self.downtime(p)).collect();
         times.sort_unstable();
         let total = probes.len().max(1) as f64;
         let mut series = vec![(0, 1.0)];

@@ -15,7 +15,5 @@
 pub mod convergence;
 pub mod cost;
 
-pub use convergence::{
-    pick_probes, swifted_convergence, vanilla_convergence, ConvergenceResult,
-};
+pub use convergence::{pick_probes, swifted_convergence, vanilla_convergence, ConvergenceResult};
 pub use cost::FibCostModel;

@@ -68,11 +68,7 @@ impl Topology {
     }
 
     /// Builds a topology from explicit parts (used by fixtures and tests).
-    pub fn from_parts(
-        graph: AsGraph,
-        tiers: TierMap,
-        origins: BTreeMap<Asn, Vec<Prefix>>,
-    ) -> Self {
+    pub fn from_parts(graph: AsGraph, tiers: TierMap, origins: BTreeMap<Asn, Vec<Prefix>>) -> Self {
         Topology {
             graph,
             tiers,
@@ -124,7 +120,9 @@ impl Topology {
         let mut origins: BTreeMap<Asn, Vec<Prefix>> = BTreeMap::new();
         let mut next = 0u32;
         let mut take = |count: usize| -> Vec<Prefix> {
-            let v: Vec<Prefix> = (0..count).map(|i| Prefix::nth_slash24(next + i as u32)).collect();
+            let v: Vec<Prefix> = (0..count)
+                .map(|i| Prefix::nth_slash24(next + i as u32))
+                .collect();
             next += count as u32;
             v
         };
@@ -222,10 +220,8 @@ mod tests {
         assert_eq!(t.originated_prefixes(Asn(8)).len(), 100);
         assert_eq!(t.total_prefixes(), 10 + 100 + 100 + 5 * 10);
         // All prefixes are distinct.
-        let all: std::collections::HashSet<_> = t
-            .origins()
-            .flat_map(|(_, ps)| ps.iter().copied())
-            .collect();
+        let all: std::collections::HashSet<_> =
+            t.origins().flat_map(|(_, ps)| ps.iter().copied()).collect();
         assert_eq!(all.len(), t.total_prefixes());
     }
 
@@ -259,7 +255,10 @@ mod tests {
         let t = Topology::figure1_with_counts(5, 5, 5);
         let p6 = t.originated_prefixes(Asn(6))[0];
         assert_eq!(t.origin_of(&p6), Some(Asn(6)));
-        assert_eq!(t.origin_of(&Prefix::nth_slash24(9_999_999 % 1000 + 100000)), None);
+        assert_eq!(
+            t.origin_of(&Prefix::nth_slash24(9_999_999 % 1000 + 100000)),
+            None
+        );
     }
 
     #[test]

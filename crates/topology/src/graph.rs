@@ -38,8 +38,16 @@ impl AsGraph {
 
     /// Removes an undirected edge. Returns `true` if it existed.
     pub fn remove_edge(&mut self, a: Asn, b: Asn) -> bool {
-        let r1 = self.adjacency.get_mut(&a).map(|s| s.remove(&b)).unwrap_or(false);
-        let r2 = self.adjacency.get_mut(&b).map(|s| s.remove(&a)).unwrap_or(false);
+        let r1 = self
+            .adjacency
+            .get_mut(&a)
+            .map(|s| s.remove(&b))
+            .unwrap_or(false);
+        let r2 = self
+            .adjacency
+            .get_mut(&b)
+            .map(|s| s.remove(&a))
+            .unwrap_or(false);
         r1 || r2
     }
 
@@ -50,7 +58,10 @@ impl AsGraph {
 
     /// Returns `true` if the undirected edge exists.
     pub fn has_edge(&self, a: Asn, b: Asn) -> bool {
-        self.adjacency.get(&a).map(|s| s.contains(&b)).unwrap_or(false)
+        self.adjacency
+            .get(&a)
+            .map(|s| s.contains(&b))
+            .unwrap_or(false)
     }
 
     /// Number of nodes.
@@ -84,7 +95,10 @@ impl AsGraph {
 
     /// Iterates over a node's neighbours in ascending AS number.
     pub fn neighbors(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
-        self.adjacency.get(&asn).into_iter().flat_map(|s| s.iter().copied())
+        self.adjacency
+            .get(&asn)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
     }
 
     /// Iterates over the undirected edges, each reported once with

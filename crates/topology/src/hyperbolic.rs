@@ -92,8 +92,7 @@ impl HyperbolicGenerator {
         distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
 
         // Pick exactly the number of edges that yields the target average degree.
-        let target_edges =
-            ((self.config.target_avg_degree * n as f64) / 2.0).round() as usize;
+        let target_edges = ((self.config.target_avg_degree * n as f64) / 2.0).round() as usize;
         let target_edges = target_edges.min(distances.len());
         for &(_, i, j) in distances.iter().take(target_edges) {
             graph.add_edge((i + 1) as u32, (j + 1) as u32);
@@ -211,14 +210,20 @@ mod tests {
         // Component-connection may add a handful of extra edges beyond the
         // exact target, so allow a small overshoot only.
         let avg = g.average_degree();
-        assert!(avg >= 8.3 && avg <= 9.5, "average degree {avg} out of range");
+        assert!(
+            (8.3..=9.5).contains(&avg),
+            "average degree {avg} out of range"
+        );
     }
 
     #[test]
     fn generated_graph_is_connected() {
         for seed in 0..3 {
             let g = HyperbolicGenerator::new(small_config(seed)).generate();
-            assert!(g.is_connected(), "seed {seed} produced a disconnected graph");
+            assert!(
+                g.is_connected(),
+                "seed {seed} produced a disconnected graph"
+            );
         }
     }
 

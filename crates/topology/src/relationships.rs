@@ -188,10 +188,7 @@ mod tests {
             Some(Relationship::Provider)
         );
         assert_eq!(tiers.relationship(Asn(3), Asn(99)), None);
-        assert_eq!(
-            Relationship::Customer.inverse(),
-            Relationship::Provider
-        );
+        assert_eq!(Relationship::Customer.inverse(), Relationship::Provider);
         assert_eq!(Relationship::Peer.inverse(), Relationship::Peer);
     }
 

@@ -161,6 +161,14 @@ pub struct SessionTrace {
     pub bursts: Vec<MaterializedBurst>,
 }
 
+/// A freshly built Adj-RIB-In: the table itself, its popular prefixes and the
+/// per-link prefix index used when materialising bursts.
+type RibParts = (
+    Vec<(Prefix, AsPath)>,
+    PrefixSet,
+    BTreeMap<AsLink, Vec<Prefix>>,
+);
+
 impl Corpus {
     /// Draws the corpus catalog.
     pub fn generate(config: TraceConfig) -> Self {
@@ -179,7 +187,10 @@ impl Corpus {
             };
             let mut bursts = Vec::with_capacity(count);
             for _ in 0..count {
-                let size = config.size_model.sample(&mut rng).min(config.table_size / 2);
+                let size = config
+                    .size_model
+                    .sample(&mut rng)
+                    .min(config.table_size / 2);
                 let meta = BurstMeta {
                     peer,
                     start: rng.gen_range(0..config.duration),
@@ -248,15 +259,7 @@ impl Corpus {
     /// Builds the session's Adj-RIB-In: a shallow provider hierarchy behind the
     /// peer, with Zipf-weighted second hops so that a few links carry most
     /// prefixes (as in the real AS-level topology).
-    fn build_rib(
-        &self,
-        meta: &SessionMeta,
-        rng: &mut StdRng,
-    ) -> (
-        Vec<(Prefix, AsPath)>,
-        PrefixSet,
-        BTreeMap<AsLink, Vec<Prefix>>,
-    ) {
+    fn build_rib(&self, meta: &SessionMeta, rng: &mut StdRng) -> RibParts {
         let n = self.config.table_size;
         let peer = meta.peer_asn;
         let base = 1_000_000 + meta.peer.0 * 5_000;
@@ -350,11 +353,7 @@ impl Corpus {
             let touching: Vec<&AsLink> = candidates
                 .iter()
                 .copied()
-                .filter(|l| {
-                    link_prefixes[l]
-                        .iter()
-                        .any(|p| popular.contains(p))
-                })
+                .filter(|l| link_prefixes[l].iter().any(|p| popular.contains(p)))
                 .collect();
             if !touching.is_empty() {
                 candidates = touching;
@@ -364,7 +363,8 @@ impl Corpus {
         let on_link = &link_prefixes[&failed_link];
 
         // Withdraw a partial subset of the link's prefixes, sized to the target.
-        let frac = rng.gen_range(self.config.withdrawn_fraction.0..=self.config.withdrawn_fraction.1);
+        let frac =
+            rng.gen_range(self.config.withdrawn_fraction.0..=self.config.withdrawn_fraction.1);
         let max_withdraw = ((on_link.len() as f64) * frac) as usize;
         let withdraw_count = target.min(max_withdraw).max(1);
         let mut indices: Vec<usize> = (0..on_link.len()).collect();
@@ -542,8 +542,7 @@ mod tests {
         let session = corpus.materialize_session(0);
         assert_eq!(session.rib.len(), 4_000);
         // All prefixes are distinct and all paths start with the peer AS.
-        let distinct: std::collections::HashSet<_> =
-            session.rib.iter().map(|(p, _)| *p).collect();
+        let distinct: std::collections::HashSet<_> = session.rib.iter().map(|(p, _)| *p).collect();
         assert_eq!(distinct.len(), 4_000);
         assert!(session
             .rib

@@ -88,8 +88,7 @@ pub fn extract_from_times(times: &[Timestamp], config: &ExtractConfig) -> Vec<Ex
                 None => true,
                 Some(&next) => {
                     // Count of withdrawals within `window` ending just before `next`.
-                    let future_start = times[..=i]
-                        .partition_point(|&x| x + config.window <= next);
+                    let future_start = times[..=i].partition_point(|&x| x + config.window <= next);
                     let future_count = (i + 1).saturating_sub(future_start);
                     future_count <= config.stop_threshold
                 }

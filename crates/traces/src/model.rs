@@ -145,9 +145,8 @@ mod tests {
         let model = BurstSizeModel::default();
         let mut rng = StdRng::seed_from_u64(1);
         let samples: Vec<usize> = (0..20_000).map(|_| model.sample(&mut rng)).collect();
-        let frac = |min: usize| {
-            samples.iter().filter(|s| **s > min).count() as f64 / samples.len() as f64
-        };
+        let frac =
+            |min: usize| samples.iter().filter(|s| **s > min).count() as f64 / samples.len() as f64;
         assert!(samples.iter().all(|s| (1_500..=570_000).contains(s)));
         // ≈16 % above 10k and ≈1.5 % above 100k (±50 % relative tolerance).
         let f10k = frac(10_000);

@@ -61,10 +61,22 @@ fn main() {
         Some(action) => {
             println!(
                 "SWIFT inference after {} withdrawals ({} ms into the burst):",
-                router.engine(peer).unwrap().accepted().unwrap().withdrawals_seen,
+                router
+                    .engine(peer)
+                    .unwrap()
+                    .accepted()
+                    .unwrap()
+                    .withdrawals_seen,
                 action.time / 1_000
             );
-            println!("  inferred links: {:?}", action.links.iter().map(|l| l.to_string()).collect::<Vec<_>>());
+            println!(
+                "  inferred links: {:?}",
+                action
+                    .links
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+            );
             println!("  prefixes rerouted: {}", action.predicted.len());
             println!("  data-plane rules installed: {}", action.rules_installed);
             let sample = action.predicted.iter().next().unwrap();

@@ -30,23 +30,47 @@ fn main() {
 
     let mut engine = Engine::new(topology.clone());
     let stats = engine.converge();
-    println!("Initial BGP convergence: {} messages processed", stats.messages_processed);
+    println!(
+        "Initial BGP convergence: {} messages processed",
+        stats.messages_processed
+    );
 
-    // Pick a vantage AS and a transit link to fail, away from the vantage.
+    // Pick a vantage AS and a remote transit link whose failure actually
+    // withdraws prefixes on the monitored session. At the paper's average
+    // degree most links have alternates (failing them yields update-only
+    // bursts SWIFT need not handle), so trial-fail heavy candidate links on a
+    // scratch engine until one produces a real withdrawal burst.
     let mut rng = StdRng::seed_from_u64(99);
-    let links = topology.links();
-    let (vantage, neighbor, failed) = loop {
+    let (vantage, neighbor, failed) = 'search: loop {
         let vantage = swift::bgp::Asn(rng.gen_range(1..=300u32));
-        let link = links[rng.gen_range(0..links.len())];
         let neighbors: Vec<_> = topology.graph().neighbors(vantage).collect();
-        if neighbors.is_empty() || link.has_endpoint(vantage) {
+        if neighbors.is_empty() {
             continue;
         }
         let neighbor = neighbors[0];
-        if link.has_endpoint(neighbor) {
-            continue;
+        let table = engine.vantage_routing_table(vantage);
+        let mut heavy: Vec<_> = table
+            .link_prefix_counts(PeerId(neighbor.value()))
+            .into_iter()
+            .filter(|(l, c)| *c >= 100 && !l.has_endpoint(vantage) && !l.has_endpoint(neighbor))
+            .collect();
+        // Tie-break on the link itself: link_prefix_counts is a HashMap and
+        // equal counts are common, so a count-only sort would make the chosen
+        // link (and the whole printout) vary across runs despite the seeds.
+        heavy.sort_by_key(|(l, c)| (std::cmp::Reverse(*c), *l));
+        for (link, _) in heavy.into_iter().take(5) {
+            let mut trial = engine.clone();
+            trial.monitor_session(vantage, neighbor);
+            trial.fail_link(link.from, link.to);
+            if trial
+                .take_burst(link)
+                .withdrawn_prefixes(trial.topology())
+                .len()
+                >= 200
+            {
+                break 'search (vantage, neighbor, link);
+            }
         }
-        break (vantage, neighbor, link);
     };
     println!("Vantage: {vantage}, monitored session with {neighbor}, failing link {failed}");
 
@@ -82,7 +106,14 @@ fn main() {
 
     match actions.first() {
         Some(action) => {
-            println!("SWIFT inferred {:?}", action.links.iter().map(|l| l.to_string()).collect::<Vec<_>>());
+            println!(
+                "SWIFT inferred {:?}",
+                action
+                    .links
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+            );
             println!(
                 "  (ground truth failed link: {failed}; inference endpoints cover it: {})",
                 action
@@ -93,7 +124,12 @@ fn main() {
             let swifted = swifted_convergence(
                 &affected,
                 &[],
-                router.engine(PeerId(neighbor.value())).unwrap().accepted().unwrap().withdrawals_seen,
+                router
+                    .engine(PeerId(neighbor.value()))
+                    .unwrap()
+                    .accepted()
+                    .unwrap()
+                    .withdrawals_seen,
                 action.rules_installed,
                 &cost,
             );

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example trace_replay`
 
-use swift::core::metrics::Classification;
 use swift::core::inference::InferenceEngine;
+use swift::core::metrics::Classification;
 use swift::core::InferenceConfig;
 use swift::traces::{Corpus, TraceConfig};
 
@@ -33,10 +33,8 @@ fn main() {
             session.bursts.len()
         );
         for (i, burst) in session.bursts.iter().enumerate() {
-            let mut engine = InferenceEngine::new(
-                config.clone(),
-                session.rib.iter().map(|(p, a)| (p, a)),
-            );
+            let mut engine =
+                InferenceEngine::new(config.clone(), session.rib.iter().map(|(p, a)| (p, a)));
             let events: Vec<_> = burst.stream.elementary_events().collect();
             let mut accepted = None;
             for ev in &events {
@@ -48,7 +46,8 @@ fn main() {
             match accepted {
                 Some(result) => {
                     let predicted = result.prediction.affected();
-                    let c = Classification::from_sets(&predicted, &burst.withdrawn, session.rib.len());
+                    let c =
+                        Classification::from_sets(&predicted, &burst.withdrawn, session.rib.len());
                     println!(
                         "  burst {:>2}: {:>6} withdrawals | inferred {:?} after {:>5} | TPR {:>5.1}% FPR {:>4.1}%",
                         i,

@@ -101,8 +101,10 @@ fn encoding_covers_most_predicted_prefixes_at_18_bits() {
 
     let mut checked = 0;
     for burst in &session.bursts {
-        let mut engine =
-            InferenceEngine::new(infer_config.clone(), session.rib.iter().map(|(p, a)| (p, a)));
+        let mut engine = InferenceEngine::new(
+            infer_config.clone(),
+            session.rib.iter().map(|(p, a)| (p, a)),
+        );
         let mut accepted = None;
         for ev in burst.stream.elementary_events() {
             if let (_, Some(r)) = engine.process(&ev) {
@@ -111,7 +113,8 @@ fn encoding_covers_most_predicted_prefixes_at_18_bits() {
             }
         }
         let Some(result) = accepted else { continue };
-        let perf = two_stage.encoding_performance(&result.prediction.predicted, &result.links.links);
+        let perf =
+            two_stage.encoding_performance(&result.prediction.predicted, &result.links.links);
         // Large bursts come from heavily-used links, which the 18-bit plan
         // encodes; the backup-provisioned fraction of the table bounds the rest.
         if burst.withdrawn.len() >= 2_500 {

@@ -1,0 +1,220 @@
+//! Offline shim for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API used by the SWIFT
+//! workspace benches.
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! compact wall-clock harness with the same surface: [`Criterion`],
+//! [`Bencher::iter`], [`Criterion::benchmark_group`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Each benchmark is warmed up briefly, then timed over an adaptive number of
+//! iterations (targeting ~200 ms of measurement), and the mean per-iteration
+//! time is printed. There are no statistical comparisons or HTML reports.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exports of the most commonly used items, mirroring upstream.
+pub mod prelude {
+    pub use crate::{
+        black_box, criterion_group, criterion_main, Bencher, BenchmarkGroup, BenchmarkId, Criterion,
+    };
+}
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times a single benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Mean per-iteration time of the measurement phase, filled by `iter`.
+    elapsed_per_iter: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Runs `f` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run once to estimate cost (and fault in caches/pages).
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~200 ms of measurement, capped to keep huge bodies fast.
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.iterations = iters;
+        self.elapsed_per_iter = total / u32::try_from(iters).unwrap_or(u32::MAX);
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. by its input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and an input descriptor.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the input parameter alone (the group supplies the name).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark inside the group without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim; consumes the group).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new();
+    f(&mut bencher);
+    println!(
+        "{label:<50} {:>12.3} µs/iter ({} iterations)",
+        bencher.elapsed_per_iter.as_secs_f64() * 1e6,
+        bencher.iterations,
+    );
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the `main` function for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut counter = 0u64;
+        Criterion::default().bench_function("shim/smoke", |b| {
+            b.iter(|| {
+                counter += 1;
+                black_box(counter)
+            })
+        });
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut hits = 0u32;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        for n in [1u32, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| {
+                    hits += 1;
+                    black_box(n)
+                })
+            });
+        }
+        group.finish();
+        assert!(hits >= 2);
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}
