@@ -1,9 +1,15 @@
-//! Criterion micro-benchmarks of the SWIFT inference hot path: counter updates
-//! and full inference runs at several burst sizes.
+//! Criterion micro-benchmarks of the SWIFT inference hot path: counter
+//! updates, full inference runs at several burst sizes, and the indexed
+//! link-set scorer against its full-scan baseline.
+//!
+//! Run with `-- --quick-check` (CI) to execute every body once instead of
+//! timing it — a rot check for the harness, not a measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swift_bgp::{AsPath, ElementaryEvent, Prefix};
-use swift_core::inference::{infer_links, InferenceEngine, LinkCounters};
+use swift_bgp::{AsPath, ElementaryEvent, InternedRib, Prefix};
+use swift_core::inference::{
+    infer_links, infer_links_scan, predict, predict_scan, InferenceEngine, LinkCounters,
+};
 use swift_core::InferenceConfig;
 
 fn rib(n: u32) -> Vec<(Prefix, AsPath)> {
@@ -21,10 +27,10 @@ fn rib(n: u32) -> Vec<(Prefix, AsPath)> {
 }
 
 fn bench_counter_updates(c: &mut Criterion) {
-    let table = rib(50_000);
+    let table: InternedRib = rib(50_000).into_iter().collect();
     c.bench_function("counters/withdraw_50k", |b| {
         b.iter(|| {
-            let mut counters = LinkCounters::from_rib(table.iter().map(|(a, b)| (a, b)));
+            let mut counters = LinkCounters::from_interned(&table);
             for i in 0..50_000u32 {
                 counters.on_withdraw(Prefix::nth_slash24(i));
             }
@@ -49,8 +55,34 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
+/// One full inference attempt (link selection + prefix prediction): the
+/// indexed implementation against the full-scan baseline it replaced.
+fn bench_attempt_indexed_vs_scan(c: &mut Criterion) {
+    let size = 40_000u32;
+    let table = rib(size * 2);
+    let mut counters = LinkCounters::from_rib(table.iter().map(|(a, b)| (a, b)));
+    for i in 0..size {
+        counters.on_withdraw(Prefix::nth_slash24(i * 2));
+    }
+    let config = InferenceConfig::default();
+    let mut group = c.benchmark_group("inference/attempt_80k_rib");
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            let links = infer_links(&counters, &config);
+            std::hint::black_box(predict(&counters, &links).total_affected())
+        })
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| {
+            let links = infer_links_scan(&counters, &config);
+            std::hint::black_box(predict_scan(&counters, &links).total_affected())
+        })
+    });
+    group.finish();
+}
+
 fn bench_engine_stream(c: &mut Criterion) {
-    let table = rib(20_000);
+    let table: InternedRib = rib(20_000).into_iter().collect();
     let events: Vec<ElementaryEvent> = (0..10_000u32)
         .map(|i| ElementaryEvent::Withdraw {
             timestamp: u64::from(i) * 1_000,
@@ -59,10 +91,7 @@ fn bench_engine_stream(c: &mut Criterion) {
         .collect();
     c.bench_function("engine/process_10k_withdrawals", |b| {
         b.iter(|| {
-            let mut engine = InferenceEngine::new(
-                InferenceConfig::default(),
-                table.iter().map(|(a, b)| (a, b)),
-            );
+            let mut engine = InferenceEngine::from_interned(InferenceConfig::default(), &table);
             std::hint::black_box(engine.process_all(events.iter()).len())
         })
     });
@@ -72,6 +101,7 @@ criterion_group!(
     benches,
     bench_counter_updates,
     bench_inference,
+    bench_attempt_indexed_vs_scan,
     bench_engine_stream
 );
 criterion_main!(benches);

@@ -86,7 +86,8 @@ pub fn evaluate_burst(
     burst: &MaterializedBurst,
     config: &InferenceConfig,
 ) -> Option<BurstEvaluation> {
-    let mut engine = InferenceEngine::new(config.clone(), session.rib.iter().map(|(p, a)| (p, a)));
+    // Seeding shares the trace's interned path storage — no per-prefix clones.
+    let mut engine = InferenceEngine::from_interned(config.clone(), &session.rib);
     let events: Vec<_> = burst.stream.elementary_events().collect();
     let burst_start = burst.stream.start().unwrap_or(0);
 

@@ -1,0 +1,263 @@
+//! AS-path interning: dense [`PathId`]s over shared path storage.
+//!
+//! Internet routing tables are heavily redundant at the AS-path level: a full
+//! table of ~900k prefixes typically carries well under 100k *distinct* AS
+//! paths, because every prefix originated by the same AS behind the same
+//! provider chain shares one path. The SWIFT inference hot path (RIB seeding,
+//! per-link counters, trace replay) used to clone a heap-allocated [`AsPath`]
+//! per prefix and per event; interning replaces those clones with a `u32`
+//! [`PathId`] into a [`PathInterner`], and cloning an interner (or an
+//! [`InternedRib`]) only copies `Arc` pointers — the path allocations
+//! themselves are shared.
+
+use crate::as_path::AsPath;
+use crate::prefix::Prefix;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dense identifier for an interned [`AsPath`].
+///
+/// Ids are assigned sequentially by the [`PathInterner`] that produced them
+/// and are only meaningful relative to that interner (or a clone of it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Deduplicating storage for [`AsPath`]s.
+///
+/// [`PathInterner::intern`] returns the same [`PathId`] for equal paths;
+/// lookups by id are O(1). Cloning an interner shares the underlying path
+/// allocations (`Arc`), so seeding several consumers from one interned RIB
+/// does not duplicate path storage.
+#[derive(Debug, Clone, Default)]
+pub struct PathInterner {
+    paths: Vec<Arc<AsPath>>,
+    index: HashMap<Arc<AsPath>, PathId>,
+}
+
+impl PathInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `path`, cloning it only if it has not been seen before.
+    pub fn intern(&mut self, path: &AsPath) -> PathId {
+        if let Some(id) = self.index.get(path) {
+            return *id;
+        }
+        self.insert_new(Arc::new(path.clone()))
+    }
+
+    /// Interns an owned path without cloning (the path is dropped if an equal
+    /// one is already interned).
+    pub fn intern_owned(&mut self, path: AsPath) -> PathId {
+        if let Some(id) = self.index.get(&path) {
+            return *id;
+        }
+        self.insert_new(Arc::new(path))
+    }
+
+    fn insert_new(&mut self, arc: Arc<AsPath>) -> PathId {
+        let id = PathId(u32::try_from(self.paths.len()).expect("more than u32::MAX paths"));
+        self.paths.push(Arc::clone(&arc));
+        self.index.insert(arc, id);
+        id
+    }
+
+    /// The path behind `id`. Panics if `id` came from a different interner.
+    pub fn get(&self, id: PathId) -> &AsPath {
+        &self.paths[id.index()]
+    }
+
+    /// The shared handle behind `id` (an `Arc` clone, no path copy).
+    pub fn get_arc(&self, id: PathId) -> Arc<AsPath> {
+        Arc::clone(&self.paths[id.index()])
+    }
+
+    /// The id of `path` if it is already interned.
+    pub fn lookup(&self, path: &AsPath) -> Option<PathId> {
+        self.index.get(path).copied()
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// An Adj-RIB-In snapshot with interned paths: `(Prefix, PathId)` entries over
+/// a [`PathInterner`].
+///
+/// This is the zero-copy seeding format for the SWIFT inference pipeline: the
+/// trace corpus materialises sessions into an `InternedRib`, and consumers
+/// (per-session counters, engines) share its path storage instead of cloning
+/// one `AsPath` per prefix.
+#[derive(Debug, Clone, Default)]
+pub struct InternedRib {
+    interner: PathInterner,
+    entries: Vec<(Prefix, PathId)>,
+}
+
+impl InternedRib {
+    /// Creates an empty interned RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry, interning `path`.
+    pub fn push(&mut self, prefix: Prefix, path: &AsPath) {
+        let id = self.interner.intern(path);
+        self.entries.push((prefix, id));
+    }
+
+    /// Appends an entry from an owned path (no clone for new paths).
+    pub fn push_owned(&mut self, prefix: Prefix, path: AsPath) {
+        let id = self.interner.intern_owned(path);
+        self.entries.push((prefix, id));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the RIB has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at `idx` as `(prefix, path)`.
+    pub fn get(&self, idx: usize) -> (Prefix, &AsPath) {
+        let (prefix, id) = self.entries[idx];
+        (prefix, self.interner.get(id))
+    }
+
+    /// Iterates over `(prefix, path)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &AsPath)> {
+        self.entries
+            .iter()
+            .map(|(p, id)| (p, self.interner.get(*id)))
+    }
+
+    /// The raw `(prefix, id)` entries.
+    pub fn entries(&self) -> &[(Prefix, PathId)] {
+        &self.entries
+    }
+
+    /// The backing interner.
+    pub fn interner(&self) -> &PathInterner {
+        &self.interner
+    }
+
+    /// Number of distinct paths across all entries.
+    pub fn distinct_paths(&self) -> usize {
+        self.interner.len()
+    }
+}
+
+impl PartialEq for InternedRib {
+    /// Semantic equality: same `(prefix, path)` sequence, regardless of how
+    /// ids were assigned.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl FromIterator<(Prefix, AsPath)> for InternedRib {
+    fn from_iter<I: IntoIterator<Item = (Prefix, AsPath)>>(iter: I) -> Self {
+        let mut rib = InternedRib::new();
+        for (prefix, path) in iter {
+            rib.push_owned(prefix, path);
+        }
+        rib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(hops: &[u32]) -> AsPath {
+        AsPath::new(hops.iter().copied())
+    }
+
+    #[test]
+    fn interning_dedupes_equal_paths() {
+        let mut i = PathInterner::new();
+        let a = i.intern(&path(&[2, 5, 6]));
+        let b = i.intern(&path(&[2, 5, 6]));
+        let c = i.intern(&path(&[2, 5, 7]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get(a), &path(&[2, 5, 6]));
+        assert_eq!(i.get(c), &path(&[2, 5, 7]));
+        assert_eq!(i.lookup(&path(&[2, 5, 6])), Some(a));
+        assert_eq!(i.lookup(&path(&[9, 9])), None);
+    }
+
+    #[test]
+    fn intern_owned_matches_intern() {
+        let mut i = PathInterner::new();
+        let a = i.intern(&path(&[1, 2]));
+        let b = i.intern_owned(path(&[1, 2]));
+        let c = i.intern_owned(path(&[1, 3]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_path_storage() {
+        let mut i = PathInterner::new();
+        let id = i.intern(&path(&[2, 5, 6]));
+        let clone = i.clone();
+        assert!(Arc::ptr_eq(&i.get_arc(id), &clone.get_arc(id)));
+        assert_eq!(clone.get(id), i.get(id));
+    }
+
+    #[test]
+    fn interned_rib_roundtrip() {
+        let mut rib = InternedRib::new();
+        for k in 0..10u32 {
+            rib.push(Prefix::nth_slash24(k), &path(&[2, 5, 6]));
+        }
+        rib.push_owned(Prefix::nth_slash24(10), path(&[2, 9]));
+        assert_eq!(rib.len(), 11);
+        assert!(!rib.is_empty());
+        assert_eq!(rib.distinct_paths(), 2, "10 shared + 1 distinct");
+        assert_eq!(rib.get(0), (Prefix::nth_slash24(0), &path(&[2, 5, 6])));
+        assert_eq!(rib.iter().count(), 11);
+        let (p, a) = rib.iter().last().unwrap();
+        assert_eq!(*p, Prefix::nth_slash24(10));
+        assert_eq!(a, &path(&[2, 9]));
+    }
+
+    #[test]
+    fn interned_rib_semantic_equality() {
+        let a: InternedRib = (0..5u32)
+            .map(|k| (Prefix::nth_slash24(k), path(&[2, 5, k])))
+            .collect();
+        let b: InternedRib = (0..5u32)
+            .map(|k| (Prefix::nth_slash24(k), path(&[2, 5, k])))
+            .collect();
+        assert_eq!(a, b);
+        let c: InternedRib = (0..5u32)
+            .map(|k| (Prefix::nth_slash24(k), path(&[2, 6, k])))
+            .collect();
+        assert_ne!(a, c);
+        assert_ne!(a, InternedRib::new());
+    }
+}

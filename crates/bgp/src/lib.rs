@@ -15,6 +15,8 @@
 //!   routing state with standard best-path selection.
 //! * [`MessageStream`] and [`Session`] — timestamped per-session message streams,
 //!   the exact input shape of the SWIFT inference algorithm (§4 of the paper).
+//! * [`PathInterner`] / [`InternedRib`] — deduplicating AS-path storage with
+//!   dense [`PathId`]s, the zero-copy seeding format of the inference hot path.
 //!
 //! The crate is dependency-free and fully deterministic; all timestamps are
 //! virtual microseconds ([`Timestamp`]).
@@ -24,6 +26,7 @@
 
 pub mod as_path;
 pub mod attributes;
+pub mod interner;
 pub mod message;
 pub mod prefix;
 pub mod rib;
@@ -32,6 +35,7 @@ pub mod table;
 
 pub use as_path::{AsLink, AsPath, Asn};
 pub use attributes::{Community, Origin, RouteAttributes};
+pub use interner::{InternedRib, PathId, PathInterner};
 pub use message::{BgpMessage, ElementaryEvent, MessageKind};
 pub use prefix::{Prefix, PrefixError, PrefixSet};
 pub use rib::{AdjRibIn, LocRib, Route};

@@ -11,7 +11,7 @@
 
 use crate::config::InferenceConfig;
 use crate::inference::counters::LinkCounters;
-use crate::inference::fit_score::{rank_links, score_link_set, Score};
+use crate::inference::fit_score::{rank_links, score_link_set, score_link_set_scan, Score};
 use swift_bgp::{AsLink, Asn};
 
 /// The result of the link-selection step.
@@ -52,7 +52,39 @@ impl InferredLinks {
 
 /// Selects the inferred link set from the current counters.
 pub fn infer_links(counters: &LinkCounters, config: &InferenceConfig) -> InferredLinks {
-    let ranking = rank_links(counters, config);
+    infer_links_ranked(counters, &rank_links(counters, config), config)
+}
+
+/// Selects the inferred link set from a precomputed ranking (as produced by
+/// [`rank_links`] or the engine's incremental
+/// [`crate::inference::fit_score::LinkRanker`]), scoring candidate sets
+/// through the inverted prefix-bitset index.
+pub fn infer_links_ranked(
+    counters: &LinkCounters,
+    ranking: &[(AsLink, Score)],
+    config: &InferenceConfig,
+) -> InferredLinks {
+    infer_with_scorer(counters, ranking, config, score_link_set)
+}
+
+/// Reference implementation of [`infer_links`] whose set scores come from the
+/// full-RIB scan baseline ([`score_link_set_scan`]) — the pre-index behaviour,
+/// kept for the property tests and the `exp_scale` speedup measurements.
+pub fn infer_links_scan(counters: &LinkCounters, config: &InferenceConfig) -> InferredLinks {
+    infer_with_scorer(
+        counters,
+        &rank_links(counters, config),
+        config,
+        score_link_set_scan,
+    )
+}
+
+fn infer_with_scorer(
+    counters: &LinkCounters,
+    ranking: &[(AsLink, Score)],
+    config: &InferenceConfig,
+    score_set: fn(&LinkCounters, &[AsLink], &InferenceConfig) -> Score,
+) -> InferredLinks {
     let Some((top_link, top_score)) = ranking.first().copied() else {
         return InferredLinks {
             links: Vec::new(),
@@ -80,7 +112,7 @@ pub fn infer_links(counters: &LinkCounters, config: &InferenceConfig) -> Inferre
     // prefixes dilute the path share; siblings whose withdrawals are already
     // explained by the seed add nothing and are left to the max-FS tie rule.
     let mut aggregate = vec![top_link];
-    let mut aggregate_score = score_link_set(counters, &aggregate, config);
+    let mut aggregate_score = score_set(counters, &aggregate, config);
     let mut shared_endpoints: Vec<Asn> = vec![top_link.from, top_link.to];
     for (candidate, _) in ranking.iter().skip(1) {
         if aggregate.contains(candidate) {
@@ -96,7 +128,7 @@ pub fn infer_links(counters: &LinkCounters, config: &InferenceConfig) -> Inferre
         }
         let mut trial = aggregate.clone();
         trial.push(*candidate);
-        let trial_score = score_link_set(counters, &trial, config);
+        let trial_score = score_set(counters, &trial, config);
         if trial_score.fs > aggregate_score.fs + config.fs_tolerance {
             aggregate = trial;
             aggregate_score = trial_score;
@@ -107,7 +139,7 @@ pub fn infer_links(counters: &LinkCounters, config: &InferenceConfig) -> Inferre
     // The returned set is the union of the maximum-FS ties and the aggregation
     // result; deterministic order: aggregation seed first, then by FS rank.
     let mut links: Vec<AsLink> = Vec::new();
-    for (l, _) in &ranking {
+    for (l, _) in ranking {
         if max_set.contains(l) || aggregate.contains(l) {
             links.push(*l);
         }
@@ -116,7 +148,7 @@ pub fn infer_links(counters: &LinkCounters, config: &InferenceConfig) -> Inferre
     let score = if links.len() == 1 {
         top_score
     } else {
-        score_link_set(counters, &links, config)
+        score_set(counters, &links, config)
     };
     InferredLinks { links, score }
 }
@@ -239,6 +271,29 @@ mod tests {
         assert!(inferred.links.contains(&AsLink::new(6, 8)));
         assert!(!inferred.links.contains(&AsLink::new(6, 7)));
         assert!(!inferred.links.contains(&AsLink::new(2, 5)));
+    }
+
+    #[test]
+    fn indexed_and_scan_inference_agree() {
+        // Router-failure scenario with noise: the indexed scorer and the scan
+        // baseline must select identical link sets with identical scores.
+        let mut c = seed_rib(&[
+            (&[2, 5, 6, 7], 10),
+            (&[4, 6, 8], 10),
+            (&[2, 5], 5),
+            (&[4, 9], 5),
+        ]);
+        for i in 0..20 {
+            c.on_withdraw(p(i));
+        }
+        c.on_withdraw(p(21)); // one (2,5) prefix: noise
+        let cfg = InferenceConfig::default();
+        let fast = infer_links(&c, &cfg);
+        let slow = infer_links_scan(&c, &cfg);
+        assert_eq!(fast, slow);
+        // And the ranked entry point matches too.
+        let ranking = crate::inference::fit_score::rank_links(&c, &cfg);
+        assert_eq!(infer_links_ranked(&c, &ranking, &cfg), fast);
     }
 
     #[test]

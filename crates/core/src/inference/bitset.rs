@@ -1,0 +1,188 @@
+//! A growable fixed-width bitset over dense prefix ids.
+//!
+//! The inverted index in [`super::counters`] keys every AS link to the set of
+//! prefixes whose path crosses it. With prefixes mapped to dense `u32` ids,
+//! those sets are plain word-packed bitsets: set-union and
+//! intersection-cardinality — the whole of the `W(S)`/`P(S)` computation —
+//! become word-wise OR / AND + popcount, `O(ids / 64)` per link instead of a
+//! scan over the entire session RIB.
+
+/// A bitset over dense ids, growing on demand.
+///
+/// Unset ids beyond the allocated words are simply absent; all operations
+/// treat the set as conceptually infinite and zero-padded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdBitSet {
+    words: Vec<u64>,
+}
+
+impl IdBitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set pre-sized for ids `< capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IdBitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Sets bit `id`.
+    pub fn set(&mut self, id: u32) {
+        let word = (id / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (id % 64);
+    }
+
+    /// Clears bit `id`.
+    pub fn clear(&mut self, id: u32) {
+        let word = (id / 64) as usize;
+        if word < self.words.len() {
+            self.words[word] &= !(1u64 << (id % 64));
+        }
+    }
+
+    /// Returns `true` if bit `id` is set.
+    pub fn test(&self, id: u32) -> bool {
+        let word = (id / 64) as usize;
+        word < self.words.len() && self.words[word] & (1u64 << (id % 64)) != 0
+    }
+
+    /// Clears every bit (keeps the allocation).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// The backing words (low id first).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// ORs `other` into `self`.
+    pub fn union_with(&mut self, other: &IdBitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (dst, src) in self.words.iter_mut().zip(other.words.iter()) {
+            *dst |= *src;
+        }
+    }
+
+    /// `|self ∧ other|` without materialising the intersection.
+    pub fn intersection_count(&self, other: &IdBitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the ids of set bits in `self ∧ other`, ascending.
+    pub fn intersection_ids<'a>(&'a self, other: &'a IdBitSet) -> impl Iterator<Item = u32> + 'a {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .enumerate()
+            .flat_map(|(wi, (a, b))| {
+                let mut bits = a & b;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let tz = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(wi as u32 * 64 + tz)
+                })
+            })
+    }
+
+    /// Iterates over all set ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut bits = *w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(wi as u32 * 64 + tz)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_test_roundtrip() {
+        let mut s = IdBitSet::new();
+        assert!(s.is_empty());
+        assert!(!s.test(5));
+        s.set(5);
+        s.set(64);
+        s.set(1_000);
+        assert!(s.test(5) && s.test(64) && s.test(1_000));
+        assert!(!s.test(6) && !s.test(65) && !s.test(999));
+        assert_eq!(s.count(), 3);
+        s.clear(64);
+        assert!(!s.test(64));
+        assert_eq!(s.count(), 2);
+        // Clearing an id beyond the allocation is a no-op.
+        s.clear(1_000_000);
+        assert_eq!(s.count(), 2);
+        s.clear_all();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = IdBitSet::with_capacity(200);
+        let mut b = IdBitSet::new();
+        for id in [1u32, 63, 64, 128] {
+            a.set(id);
+        }
+        for id in [63u32, 64, 300] {
+            b.set(id);
+        }
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(b.intersection_count(&a), 2);
+        assert_eq!(a.intersection_ids(&b).collect::<Vec<_>>(), vec![63, 64]);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 5);
+        assert_eq!(u.ids().collect::<Vec<_>>(), vec![1, 63, 64, 128, 300]);
+    }
+
+    #[test]
+    fn differently_sized_sets_are_zero_padded() {
+        let mut small = IdBitSet::new();
+        small.set(3);
+        let mut big = IdBitSet::new();
+        big.set(3);
+        big.set(10_000);
+        assert_eq!(small.intersection_count(&big), 1);
+        assert_eq!(big.intersection_count(&small), 1);
+        let mut u = small.clone();
+        u.union_with(&big);
+        assert_eq!(u.count(), 2);
+        assert!(u.test(10_000));
+    }
+}

@@ -20,6 +20,11 @@ pub enum BurstEvent {
     Started(Timestamp),
     /// The ongoing burst is continuing.
     Ongoing,
+    /// The previous burst had already drained below the stop threshold by the
+    /// time this withdrawal arrived: the burst is closed and the withdrawal is
+    /// counted outside it. Emitted on withdrawal-only streams, where no
+    /// announcement ever ticks the clock between two bursts.
+    Ended,
 }
 
 /// Sliding-window burst detector for one session.
@@ -67,7 +72,24 @@ impl BurstDetector {
 
     /// Ingests one withdrawal received at `t` and reports any burst
     /// state change.
+    ///
+    /// Before the withdrawal is admitted, the stop condition is checked
+    /// against the window as it stood at `t` — exactly what an
+    /// [`BurstDetector::on_tick`] at `t` would have seen. Without this, a
+    /// burst on a withdrawal-only stream can never end: the next burst's
+    /// first withdrawal would be classified as `Ongoing` no matter how long
+    /// the silence before it.
     pub fn on_withdrawal(&mut self, t: Timestamp) -> BurstEvent {
+        let mut ended = false;
+        if self.in_burst {
+            self.evict(t);
+            if self.recent.len() <= self.stop_threshold {
+                self.in_burst = false;
+                self.burst_start = None;
+                self.withdrawals_in_burst = 0;
+                ended = true;
+            }
+        }
         self.recent.push_back(t);
         self.evict(t);
         if self.in_burst {
@@ -80,6 +102,9 @@ impl BurstDetector {
             self.burst_start = Some(start);
             self.withdrawals_in_burst = self.recent.len();
             return BurstEvent::Started(start);
+        }
+        if ended {
+            return BurstEvent::Ended;
         }
         BurstEvent::None
     }
@@ -234,6 +259,44 @@ mod tests {
         assert_eq!(d.burst_start(), None);
         // Ticking again does not report another end.
         assert!(!d.on_tick(31 * SECOND));
+    }
+
+    #[test]
+    fn gap_in_withdrawal_only_stream_ends_the_burst() {
+        let mut d = detector(5, 1);
+        for i in 0..8u64 {
+            d.on_withdrawal(i * 1_000);
+        }
+        assert!(d.in_burst());
+        // One lone withdrawal a minute later: the window drained long ago, so
+        // the burst must close and the straggler sits outside any burst.
+        assert_eq!(d.on_withdrawal(60 * SECOND), BurstEvent::Ended);
+        assert!(!d.in_burst());
+        assert_eq!(d.burst_start(), None);
+        assert_eq!(d.withdrawals_in_burst(), 0);
+        assert_eq!(d.window_count(), 1);
+        // A fresh burst can then start from scratch.
+        let mut started = None;
+        for i in 0..5u64 {
+            if let BurstEvent::Started(t) = d.on_withdrawal(120 * SECOND + i * 1_000) {
+                started = Some(t);
+            }
+        }
+        assert_eq!(started, Some(120 * SECOND));
+        assert_eq!(d.withdrawals_in_burst(), 5);
+    }
+
+    #[test]
+    fn steady_burst_is_not_ended_by_the_stop_check() {
+        let mut d = detector(5, 1);
+        for i in 0..1_000u64 {
+            let ev = d.on_withdrawal(i * 500_000); // 2/s, window holds 20
+            assert_ne!(ev, BurstEvent::Ended);
+            if i >= 4 {
+                assert_ne!(ev, BurstEvent::None, "burst must stay open");
+            }
+        }
+        assert!(d.in_burst());
     }
 
     #[test]

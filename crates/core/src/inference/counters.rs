@@ -1,5 +1,5 @@
 //! Per-link withdrawal/path counters: the `W(l,t)` and `P(l,t)` quantities of
-//! §4.1.
+//! §4.1, backed by an interned-path inverted index.
 //!
 //! The tracker is seeded with the session's Adj-RIB-In at burst start (each
 //! prefix's current AS path) and updated with every subsequent per-prefix
@@ -13,23 +13,95 @@
 //!   count towards `W`, exactly as in the paper's Fig. 4 where the 10k updated
 //!   prefixes of AS 7 lower the path share of `(1,2)`/`(2,5)` without raising
 //!   any withdrawal share).
+//!
+//! # Data layout
+//!
+//! Internet-scale RIBs (~900k prefixes) with bursts of 10^5 withdrawals make
+//! the naive representation — one cloned [`AsPath`] per prefix, and a full-RIB
+//! scan for every `W(S)`/`P(S)` link-set query — the dominant cost of an
+//! inference attempt. Three structures remove it:
+//!
+//! * **Path interning** ([`PathInterner`]): every distinct AS path is stored
+//!   once; prefixes refer to it by dense [`PathId`]. Seeding from an
+//!   [`InternedRib`] shares the storage outright (`Arc` clones only).
+//! * **Dense prefix ids**: each tracked prefix gets a `u32` id, so per-prefix
+//!   membership is a bit, not a map entry.
+//! * **Inverted index**: for every [`AsLink`] the set of prefixes whose
+//!   tracked path crosses it is an [`IdBitSet`]; two global bitsets split the
+//!   id space into *routed* and *withdrawn*. [`LinkCounters::w_union`] /
+//!   [`LinkCounters::p_union`] are then `O(candidate links × words)` bitset
+//!   unions instead of `O(RIB × path length)` scans. The scan implementations
+//!   survive as [`LinkCounters::w_union_scan`] / [`LinkCounters::p_union_scan`]
+//!   — reference baselines for the property tests and the `exp_scale`
+//!   speedup measurements.
+//!
+//! Per-burst seeding (§4.1, "seeded at burst start") is provided by
+//! [`LinkCounters::start_burst`]: it zeroes `W(l)`/`W(t)`, forgets withdrawals
+//! from previous bursts, and replays the withdrawals of the detection window
+//! so the new burst starts from exactly the state the paper's algorithm
+//! assumes.
 
-use std::collections::{BTreeMap, HashMap};
-use swift_bgp::{AsLink, AsPath, Prefix};
+use crate::inference::bitset::IdBitSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use swift_bgp::{AsLink, AsPath, InternedRib, PathId, PathInterner, Prefix, PrefixSet};
+
+/// What the counters currently know about a tracked prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Routed: the path behind the id is the prefix's current path.
+    Routed(PathId),
+    /// Withdrawn during the current burst; the path it had is kept for `W`.
+    Withdrawn(PathId),
+    /// Withdrawn in a previous burst and purged at burst start: the prefix is
+    /// not in the RIB and contributes to no counter.
+    Gone,
+}
+
+/// Per-link slice of the inverted index.
+#[derive(Debug, Clone, Default)]
+struct LinkEntry {
+    /// Prefixes (by dense id) whose tracked path crosses this link — routed
+    /// and withdrawn-this-burst alike.
+    crosses: IdBitSet,
+    /// W(l): withdrawals of prefixes whose path included l.
+    w: usize,
+    /// P(l): prefixes whose current path still includes l.
+    p: usize,
+}
 
 /// The per-link counters for one session.
 #[derive(Debug, Clone, Default)]
 pub struct LinkCounters {
-    /// Current path of each still-routed prefix.
-    paths: HashMap<Prefix, AsPath>,
-    /// Prefixes withdrawn since tracking started (with the path they had).
-    withdrawn: HashMap<Prefix, AsPath>,
-    /// W(l): withdrawn prefixes whose path included l.
-    w: BTreeMap<AsLink, usize>,
-    /// P(l): prefixes whose current path still includes l.
-    p: BTreeMap<AsLink, usize>,
+    /// Shared storage for every distinct AS path seen.
+    interner: PathInterner,
+    /// Prefix → dense id.
+    ids: HashMap<Prefix, u32>,
+    /// Dense id → prefix.
+    prefixes: Vec<Prefix>,
+    /// Dense id → tracking state.
+    state: Vec<SlotState>,
+    /// Ids of still-routed prefixes.
+    routed_bits: IdBitSet,
+    /// Ids of prefixes withdrawn during the current burst.
+    withdrawn_bits: IdBitSet,
+    /// The inverted index plus the maintained W(l)/P(l) counts.
+    links: BTreeMap<AsLink, LinkEntry>,
     /// W(t): total withdrawals received (including unknown/noise prefixes).
     total_withdrawals: usize,
+    /// Number of still-routed prefixes.
+    routed_count: usize,
+    /// Number of withdrawn (not re-announced) prefixes.
+    withdrawn_count: usize,
+    /// Links whose `W(l)` changed since the last [`LinkCounters::take_dirty`].
+    dirty: BTreeSet<AsLink>,
+}
+
+/// Iterates the distinct links of `path` (a looped path repeating a link
+/// yields it once, keeping counter increments and bitset updates symmetric).
+fn unique_links(path: &AsPath) -> impl Iterator<Item = AsLink> + '_ {
+    path.links()
+        .enumerate()
+        .filter_map(move |(i, l)| (!path.links().take(i).any(|prev| prev == l)).then_some(l))
 }
 
 impl LinkCounters {
@@ -40,10 +112,21 @@ impl LinkCounters {
     {
         let mut c = LinkCounters::default();
         for (prefix, path) in rib {
-            c.paths.insert(*prefix, path.clone());
-            for link in path.links() {
-                *c.p.entry(link).or_insert(0) += 1;
-            }
+            let pid = c.interner.intern(path);
+            c.announce_interned(*prefix, pid);
+        }
+        c
+    }
+
+    /// Creates counters seeded from an interned RIB, sharing its path storage
+    /// (no per-prefix path clones).
+    pub fn from_interned(rib: &InternedRib) -> Self {
+        let mut c = LinkCounters {
+            interner: rib.interner().clone(),
+            ..LinkCounters::default()
+        };
+        for (prefix, pid) in rib.entries() {
+            c.announce_interned(*prefix, *pid);
         }
         c
     }
@@ -56,46 +139,165 @@ impl LinkCounters {
     /// Registers a withdrawal of `prefix`.
     pub fn on_withdraw(&mut self, prefix: Prefix) {
         self.total_withdrawals += 1;
-        if let Some(path) = self.paths.remove(&prefix) {
-            for link in path.links() {
-                *self.w.entry(link).or_insert(0) += 1;
-                if let Some(p) = self.p.get_mut(&link) {
-                    *p = p.saturating_sub(1);
-                }
-            }
-            self.withdrawn.insert(prefix, path);
-        }
         // Withdrawals for prefixes we never had a route for (BGP noise) still
         // count towards W(t) but touch no link counter.
+        let Some(&id) = self.ids.get(&prefix) else {
+            return;
+        };
+        let SlotState::Routed(pid) = self.state[id as usize] else {
+            return;
+        };
+        self.state[id as usize] = SlotState::Withdrawn(pid);
+        self.routed_bits.clear(id);
+        self.withdrawn_bits.set(id);
+        self.routed_count -= 1;
+        self.withdrawn_count += 1;
+        let path = self.interner.get_arc(pid);
+        for link in unique_links(&path) {
+            let e = self.links.entry(link).or_default();
+            e.w += 1;
+            e.p = e.p.saturating_sub(1);
+            self.dirty.insert(link);
+        }
     }
 
-    /// Registers a re-announcement of `prefix` with `new_path`.
+    /// Registers a re-announcement of `prefix` with `new_path`, interning the
+    /// path by reference (it is cloned only the first time it is ever seen).
+    pub fn on_announce_path(&mut self, prefix: Prefix, new_path: &AsPath) {
+        let pid = self.interner.intern(new_path);
+        self.announce_interned(prefix, pid);
+    }
+
+    /// Registers a re-announcement of `prefix` with an owned `new_path`.
     pub fn on_announce(&mut self, prefix: Prefix, new_path: AsPath) {
-        // If the prefix had been withdrawn during this burst it becomes routed
-        // again; its withdrawal contribution to W is kept (the withdrawal did
-        // happen) but the new path now counts towards P.
-        if let Some(old) = self.paths.remove(&prefix) {
-            for link in old.links() {
-                if let Some(p) = self.p.get_mut(&link) {
-                    *p = p.saturating_sub(1);
+        let pid = self.interner.intern_owned(new_path);
+        self.announce_interned(prefix, pid);
+    }
+
+    /// Core announce handler over an already-interned path.
+    ///
+    /// If the prefix had been withdrawn during this burst it becomes routed
+    /// again; its withdrawal contribution to W is kept (the withdrawal did
+    /// happen) but the new path now counts towards P.
+    fn announce_interned(&mut self, prefix: Prefix, new_pid: PathId) {
+        let id = match self.ids.get(&prefix) {
+            Some(&id) => id,
+            None => {
+                let id = u32::try_from(self.prefixes.len()).expect("more than u32::MAX prefixes");
+                self.ids.insert(prefix, id);
+                self.prefixes.push(prefix);
+                self.state.push(SlotState::Gone);
+                id
+            }
+        };
+        match self.state[id as usize] {
+            SlotState::Routed(old_pid) => {
+                let old = self.interner.get_arc(old_pid);
+                for link in unique_links(&old) {
+                    if let Some(e) = self.links.get_mut(&link) {
+                        e.crosses.clear(id);
+                        e.p = e.p.saturating_sub(1);
+                    }
+                }
+                self.routed_count -= 1;
+            }
+            SlotState::Withdrawn(old_pid) => {
+                // The old path's P contribution was already removed at
+                // withdrawal time and its W contribution is deliberately kept.
+                let old = self.interner.get_arc(old_pid);
+                for link in unique_links(&old) {
+                    if let Some(e) = self.links.get_mut(&link) {
+                        e.crosses.clear(id);
+                    }
+                }
+                self.withdrawn_bits.clear(id);
+                self.withdrawn_count -= 1;
+            }
+            SlotState::Gone => {}
+        }
+        self.state[id as usize] = SlotState::Routed(new_pid);
+        self.routed_bits.set(id);
+        self.routed_count += 1;
+        let path = self.interner.get_arc(new_pid);
+        for link in unique_links(&path) {
+            let e = self.links.entry(link).or_default();
+            e.crosses.set(id);
+            e.p += 1;
+        }
+    }
+
+    /// Re-seeds the counters at burst start (§4.1: `W` is "seeded at burst
+    /// start").
+    ///
+    /// Zeroes every `W(l)` and `W(t)`, forgets prefixes withdrawn in previous
+    /// bursts (they are not in the RIB the new burst starts from), then
+    /// replays `window` — the withdrawals of the burst-detection window, which
+    /// *are* part of the new burst. Prefixes of the window that are currently
+    /// withdrawn regain their `W` contributions; unknown or re-announced ones
+    /// count towards `W(t)` only.
+    ///
+    /// Also clears the dirty-link set: callers keeping an incremental ranking
+    /// (see [`crate::inference::fit_score::LinkRanker`]) must reset it
+    /// alongside this call.
+    pub fn start_burst<I>(&mut self, window: I)
+    where
+        I: IntoIterator<Item = Prefix>,
+    {
+        for e in self.links.values_mut() {
+            e.w = 0;
+        }
+        self.total_withdrawals = 0;
+        self.dirty.clear();
+
+        // Purge withdrawals from previous bursts.
+        let mut stale: HashMap<u32, PathId> = HashMap::new();
+        for (id, s) in self.state.iter_mut().enumerate() {
+            if let SlotState::Withdrawn(pid) = *s {
+                *s = SlotState::Gone;
+                stale.insert(id as u32, pid);
+            }
+        }
+        for (&id, &pid) in &stale {
+            let path = self.interner.get_arc(pid);
+            for link in unique_links(&path) {
+                if let Some(e) = self.links.get_mut(&link) {
+                    e.crosses.clear(id);
                 }
             }
         }
-        for link in new_path.links() {
-            *self.p.entry(link).or_insert(0) += 1;
+        self.withdrawn_bits.clear_all();
+        self.withdrawn_count = 0;
+
+        // Replay the detection window into the fresh burst.
+        for prefix in window {
+            self.total_withdrawals += 1;
+            let Some(&id) = self.ids.get(&prefix) else {
+                continue;
+            };
+            let Some(pid) = stale.remove(&id) else {
+                continue;
+            };
+            self.state[id as usize] = SlotState::Withdrawn(pid);
+            self.withdrawn_bits.set(id);
+            self.withdrawn_count += 1;
+            let path = self.interner.get_arc(pid);
+            for link in unique_links(&path) {
+                let e = self.links.entry(link).or_default();
+                e.crosses.set(id);
+                e.w += 1;
+                self.dirty.insert(link);
+            }
         }
-        self.paths.insert(prefix, new_path);
-        self.withdrawn.remove(&prefix);
     }
 
     /// `W(l,t)`: withdrawn prefixes whose path included `l`.
     pub fn w(&self, link: &AsLink) -> usize {
-        self.w.get(link).copied().unwrap_or(0)
+        self.links.get(link).map_or(0, |e| e.w)
     }
 
     /// `P(l,t)`: prefixes whose current path still includes `l`.
     pub fn p(&self, link: &AsLink) -> usize {
-        self.p.get(link).copied().unwrap_or(0)
+        self.links.get(link).map_or(0, |e| e.p)
     }
 
     /// `W(t)`: total withdrawals received.
@@ -105,44 +307,88 @@ impl LinkCounters {
 
     /// Every link with a non-zero `W` counter (the candidate failed links).
     pub fn links_with_withdrawals(&self) -> impl Iterator<Item = (&AsLink, usize)> {
-        self.w.iter().filter(|(_, w)| **w > 0).map(|(l, w)| (l, *w))
+        self.links
+            .iter()
+            .filter(|(_, e)| e.w > 0)
+            .map(|(l, e)| (l, e.w))
     }
 
     /// Every link currently known to the counters (withdrawn or still routed).
     pub fn all_links(&self) -> impl Iterator<Item = &AsLink> {
-        self.w
-            .keys()
-            .chain(self.p.keys().filter(move |l| !self.w.contains_key(*l)))
+        self.links.keys()
+    }
+
+    /// Links whose `W(l)` changed since the last call, drained in sorted
+    /// order. Feeds the incremental candidate ranking in the engine.
+    pub fn take_dirty(&mut self) -> Vec<AsLink> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
     }
 
     /// The current path of `prefix`, if still routed.
     pub fn current_path(&self, prefix: &Prefix) -> Option<&AsPath> {
-        self.paths.get(prefix)
+        match self.state[*self.ids.get(prefix)? as usize] {
+            SlotState::Routed(pid) => Some(self.interner.get(pid)),
+            _ => None,
+        }
     }
 
     /// Returns `true` if `prefix` has been withdrawn (and not re-announced).
     pub fn is_withdrawn(&self, prefix: &Prefix) -> bool {
-        self.withdrawn.contains_key(prefix)
+        self.ids
+            .get(prefix)
+            .is_some_and(|&id| matches!(self.state[id as usize], SlotState::Withdrawn(_)))
     }
 
     /// Number of prefixes withdrawn (with a known pre-withdrawal path).
     pub fn withdrawn_count(&self) -> usize {
-        self.withdrawn.len()
+        self.withdrawn_count
     }
 
     /// Number of prefixes still routed.
     pub fn routed_count(&self) -> usize {
-        self.paths.len()
+        self.routed_count
     }
 
     /// Iterates over the still-routed prefixes and their current paths.
     pub fn routed(&self) -> impl Iterator<Item = (&Prefix, &AsPath)> {
-        self.paths.iter()
+        self.state
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| match s {
+                SlotState::Routed(pid) => Some((&self.prefixes[i], self.interner.get(*pid))),
+                _ => None,
+            })
     }
 
     /// Iterates over the withdrawn prefixes and the path they had.
     pub fn withdrawn(&self) -> impl Iterator<Item = (&Prefix, &AsPath)> {
-        self.withdrawn.iter()
+        self.state
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| match s {
+                SlotState::Withdrawn(pid) => Some((&self.prefixes[i], self.interner.get(*pid))),
+                _ => None,
+            })
+    }
+
+    /// The union of the per-link prefix bitsets of `links`.
+    fn union_bits(&self, links: &[AsLink]) -> IdBitSet {
+        let mut union = IdBitSet::new();
+        for link in links {
+            if let Some(e) = self.links.get(link) {
+                union.union_with(&e.crosses);
+            }
+        }
+        union
+    }
+
+    /// `(W(S,t), P(S,t))` for a link set in one pass over the index.
+    pub fn union_counts(&self, links: &[AsLink]) -> (usize, usize) {
+        let union = self.union_bits(links);
+        (
+            union.intersection_count(&self.withdrawn_bits),
+            union.intersection_count(&self.routed_bits),
+        )
     }
 
     /// `W(S,t)` for a link set: withdrawn prefixes whose path crossed *any*
@@ -156,19 +402,50 @@ impl LinkCounters {
     /// would dilute the score — matching the behaviour the paper reports
     /// (aggregation covers router failures without swallowing healthy links).
     pub fn w_union(&self, links: &[AsLink]) -> usize {
-        self.withdrawn
-            .values()
-            .filter(|path| path.crosses_any(links))
-            .count()
+        self.union_bits(links)
+            .intersection_count(&self.withdrawn_bits)
     }
 
     /// `P(S,t)` for a link set: still-routed prefixes whose current path
     /// crosses *any* link of `links` (each prefix counted once).
     pub fn p_union(&self, links: &[AsLink]) -> usize {
-        self.paths
-            .values()
-            .filter(|path| path.crosses_any(links))
+        self.union_bits(links).intersection_count(&self.routed_bits)
+    }
+
+    /// The prefixes behind a link set, split into `(withdrawn, routed)` —
+    /// the index-driven form of the §4.2 prediction (reroute everything whose
+    /// current path crosses an inferred link).
+    pub fn crossing_prefixes(&self, links: &[AsLink]) -> (PrefixSet, PrefixSet) {
+        let union = self.union_bits(links);
+        let withdrawn = union
+            .intersection_ids(&self.withdrawn_bits)
+            .map(|id| self.prefixes[id as usize])
+            .collect();
+        let routed = union
+            .intersection_ids(&self.routed_bits)
+            .map(|id| self.prefixes[id as usize])
+            .collect();
+        (withdrawn, routed)
+    }
+
+    /// Reference implementation of [`LinkCounters::w_union`] by full scan —
+    /// kept for property tests and as the `exp_scale` speedup baseline.
+    pub fn w_union_scan(&self, links: &[AsLink]) -> usize {
+        self.withdrawn()
+            .filter(|(_, path)| path.crosses_any(links))
             .count()
+    }
+
+    /// Reference implementation of [`LinkCounters::p_union`] by full scan.
+    pub fn p_union_scan(&self, links: &[AsLink]) -> usize {
+        self.routed()
+            .filter(|(_, path)| path.crosses_any(links))
+            .count()
+    }
+
+    /// Number of distinct AS paths interned so far.
+    pub fn distinct_paths(&self) -> usize {
+        self.interner.len()
     }
 }
 
@@ -207,6 +484,8 @@ mod tests {
         assert_eq!(c.w(&AsLink::new(5, 6)), 0);
         assert_eq!(c.total_withdrawals(), 0);
         assert_eq!(c.routed_count(), 23);
+        // 23 prefixes but only 5 distinct paths.
+        assert_eq!(c.distinct_paths(), 5);
     }
 
     #[test]
@@ -320,5 +599,150 @@ mod tests {
         assert_eq!(c.p(&AsLink::new(9, 8)), 1);
         assert_eq!(c.routed_count(), 1);
         assert_eq!(c.withdrawn_count(), 0);
+    }
+
+    #[test]
+    fn indexed_unions_match_scan_reference() {
+        let mut c = fig4_counters();
+        c.on_withdraw(p(2));
+        for i in 0..10 {
+            c.on_withdraw(p(30 + i));
+        }
+        for i in 0..5 {
+            c.on_announce(p(10 + i), AsPath::new([2u32, 5, 3, 6, 7]));
+        }
+        let sets: [&[AsLink]; 5] = [
+            &[AsLink::new(5, 6)],
+            &[AsLink::new(5, 6), AsLink::new(6, 8)],
+            &[AsLink::new(2, 5), AsLink::new(5, 6), AsLink::new(6, 7)],
+            &[AsLink::new(9, 9)],
+            &[],
+        ];
+        for set in sets {
+            assert_eq!(c.w_union(set), c.w_union_scan(set), "set {set:?}");
+            assert_eq!(c.p_union(set), c.p_union_scan(set), "set {set:?}");
+            assert_eq!(c.union_counts(set), (c.w_union(set), c.p_union(set)));
+        }
+    }
+
+    #[test]
+    fn crossing_prefixes_split_matches_iterators() {
+        let mut c = fig4_counters();
+        c.on_withdraw(p(2));
+        for i in 0..10 {
+            c.on_withdraw(p(30 + i));
+        }
+        let set = [AsLink::new(5, 6)];
+        let (withdrawn, routed) = c.crossing_prefixes(&set);
+        let scan_withdrawn: PrefixSet = c
+            .withdrawn()
+            .filter(|(_, path)| path.crosses_any(&set))
+            .map(|(q, _)| *q)
+            .collect();
+        let scan_routed: PrefixSet = c
+            .routed()
+            .filter(|(_, path)| path.crosses_any(&set))
+            .map(|(q, _)| *q)
+            .collect();
+        assert_eq!(withdrawn, scan_withdrawn);
+        assert_eq!(routed, scan_routed);
+        assert_eq!(withdrawn.len(), 11);
+        assert_eq!(routed.len(), 10);
+    }
+
+    #[test]
+    fn from_interned_matches_from_rib() {
+        let mut rib = InternedRib::new();
+        rib.push_owned(p(0), AsPath::new([2u32, 5]));
+        for i in 0..8 {
+            rib.push_owned(p(1 + i), AsPath::new([2u32, 5, 6]));
+        }
+        let mut a = LinkCounters::from_interned(&rib);
+        let mut b = LinkCounters::from_rib(rib.iter());
+        assert_eq!(a.distinct_paths(), 2);
+        for c in [&mut a, &mut b] {
+            c.on_withdraw(p(3));
+            c.on_announce_path(p(4), &AsPath::new([2u32, 9, 6]));
+        }
+        assert_eq!(a.w(&AsLink::new(5, 6)), b.w(&AsLink::new(5, 6)));
+        assert_eq!(a.p(&AsLink::new(5, 6)), b.p(&AsLink::new(5, 6)));
+        assert_eq!(a.p(&AsLink::new(9, 6)), 1);
+        assert_eq!(
+            a.w_union(&[AsLink::new(2, 5)]),
+            b.w_union(&[AsLink::new(2, 5)])
+        );
+        assert_eq!(a.routed_count(), b.routed_count());
+        assert_eq!(a.total_withdrawals(), b.total_withdrawals());
+    }
+
+    #[test]
+    fn start_burst_resets_w_and_purges_old_withdrawals() {
+        let mut c = fig4_counters();
+        // Burst 1: the AS 8 prefixes go away.
+        for i in 0..10 {
+            c.on_withdraw(p(30 + i));
+        }
+        assert_eq!(c.w(&AsLink::new(6, 8)), 10);
+        assert_eq!(c.total_withdrawals(), 10);
+
+        // Burst 2 starts with an empty detection window: every counter the
+        // paper seeds at burst start must be fresh.
+        c.start_burst(std::iter::empty());
+        assert_eq!(c.total_withdrawals(), 0);
+        assert_eq!(c.w(&AsLink::new(6, 8)), 0);
+        assert_eq!(c.w(&AsLink::new(5, 6)), 0);
+        assert_eq!(c.withdrawn_count(), 0);
+        assert_eq!(c.w_union(&[AsLink::new(6, 8)]), 0);
+        // The routed side is untouched.
+        assert_eq!(c.routed_count(), 13);
+        assert_eq!(c.p(&AsLink::new(5, 6)), 11);
+        // Old withdrawals are gone for good: withdrawing one again is noise.
+        c.on_withdraw(p(30));
+        assert_eq!(c.total_withdrawals(), 1);
+        assert_eq!(c.w(&AsLink::new(6, 8)), 0);
+        // ... but a re-announcement brings the prefix back under tracking.
+        c.on_announce(p(31), AsPath::new([2u32, 5, 6, 8]));
+        assert_eq!(c.p(&AsLink::new(6, 8)), 1);
+        c.on_withdraw(p(31));
+        assert_eq!(c.w(&AsLink::new(6, 8)), 1);
+    }
+
+    #[test]
+    fn start_burst_replays_the_detection_window() {
+        let mut c = fig4_counters();
+        // Pre-burst history: p(2) withdrawn long ago.
+        c.on_withdraw(p(2));
+        // The detection window contains the burst's first withdrawals (p(30),
+        // p(31)) plus one noise prefix.
+        c.on_withdraw(p(30));
+        c.on_withdraw(p(31));
+        c.start_burst([p(30), p(31), p(9_999)]);
+        // W(t) counts the whole window; W(l) only the known prefixes.
+        assert_eq!(c.total_withdrawals(), 3);
+        assert_eq!(c.w(&AsLink::new(6, 8)), 2);
+        assert_eq!(c.w(&AsLink::new(5, 6)), 2, "p(2)'s old withdrawal purged");
+        assert_eq!(c.withdrawn_count(), 2);
+        assert!(c.is_withdrawn(&p(30)));
+        assert!(!c.is_withdrawn(&p(2)), "pre-burst withdrawal forgotten");
+        assert_eq!(c.w_union(&[AsLink::new(6, 8)]), 2);
+        assert_eq!(c.w_union_scan(&[AsLink::new(6, 8)]), 2);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_w_changes() {
+        let mut c = fig4_counters();
+        assert!(c.take_dirty().is_empty(), "seeding never dirties W");
+        c.on_withdraw(p(2));
+        let dirty = c.take_dirty();
+        assert_eq!(dirty, vec![AsLink::new(2, 5), AsLink::new(5, 6)]);
+        assert!(c.take_dirty().is_empty(), "drained");
+        c.on_announce(p(10), AsPath::new([2u32, 9]));
+        assert!(c.take_dirty().is_empty(), "announcements do not change W");
+        c.start_burst([p(2)]);
+        assert_eq!(
+            c.take_dirty(),
+            vec![AsLink::new(2, 5), AsLink::new(5, 6)],
+            "burst-start replay re-dirties the resurrected links"
+        );
     }
 }

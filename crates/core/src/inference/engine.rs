@@ -8,14 +8,33 @@
 //! reroute rules) if the predicted burst size is plausible for the amount of
 //! information received so far; otherwise the engine waits for the next
 //! trigger, and always accepts once the force threshold is reached.
+//!
+//! # Burst lifecycle
+//!
+//! Counters are re-seeded at every burst start (§4.1): when the detector
+//! reports [`BurstEvent::Started`], the engine resets `W` via
+//! [`LinkCounters::start_burst`] and replays the withdrawals of the detection
+//! window (mirrored with their prefixes in [`InferenceEngine::recent`]) so
+//! the new burst starts from exactly the per-burst state the paper assumes —
+//! burst N+1's withdrawal shares are never polluted by burst N's history.
+//! Bursts also close on withdrawal-only streams: the detector checks the stop
+//! threshold on withdrawals too ([`BurstEvent::Ended`]), so a later burst with
+//! no interleaved announcements still gets its own inference.
+//!
+//! # Hot path
+//!
+//! An inference attempt ranks candidates through the incrementally maintained
+//! [`LinkRanker`] (fed by the counters' dirty-link feed) and scores link sets
+//! through the inverted prefix-bitset index — no full-RIB scans.
 
 use crate::config::InferenceConfig;
-use crate::inference::aggregate::{infer_links, InferredLinks};
+use crate::inference::aggregate::{infer_links, infer_links_ranked, InferredLinks};
 use crate::inference::burst_detect::{BurstDetector, BurstEvent};
 use crate::inference::counters::LinkCounters;
-use crate::inference::fit_score::Score;
+use crate::inference::fit_score::{LinkRanker, Score};
 use crate::inference::predictor::{predict, Prediction};
-use swift_bgp::{AsPath, ElementaryEvent, Prefix, Timestamp};
+use std::collections::VecDeque;
+use swift_bgp::{AsPath, ElementaryEvent, InternedRib, Prefix, Timestamp};
 
 /// An accepted inference: the output SWIFT acts upon.
 #[derive(Debug, Clone)]
@@ -38,7 +57,7 @@ impl InferenceResult {
     }
 }
 
-/// Why the engine did not return an inference for an event.
+/// Why the engine did or did not return an inference for an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineStatus {
     /// No burst is ongoing.
@@ -47,8 +66,13 @@ pub enum EngineStatus {
     WaitingForTrigger,
     /// An inference was attempted but rejected by the history model.
     RejectedByHistory,
-    /// An inference was accepted (see the accompanying result).
+    /// This event's inference was accepted (see the accompanying result).
     Accepted,
+    /// An inference was already accepted earlier in this burst: the router has
+    /// rerouted and is waiting for BGP to converge, so further withdrawals of
+    /// the same burst change nothing. Distinct from [`EngineStatus::Accepted`]
+    /// so callers can tell the accepting event apart from its aftermath.
+    AlreadyAccepted,
 }
 
 /// Per-session inference engine.
@@ -57,6 +81,11 @@ pub struct InferenceEngine {
     config: InferenceConfig,
     counters: LinkCounters,
     detector: BurstDetector,
+    /// Incrementally maintained candidate ranking for the current burst.
+    ranker: LinkRanker,
+    /// Mirror of the detector's sliding window with prefixes attached, so a
+    /// burst start can replay the window into the freshly seeded counters.
+    recent: VecDeque<(Timestamp, Prefix)>,
     /// Withdrawals seen in the current burst at the time of the last attempt.
     last_attempt_withdrawals: usize,
     /// Set once an inference has been accepted for the current burst.
@@ -71,11 +100,25 @@ impl InferenceEngine {
     where
         I: IntoIterator<Item = (&'a Prefix, &'a AsPath)>,
     {
+        let counters = LinkCounters::from_rib(rib);
+        Self::with_counters(config, counters)
+    }
+
+    /// Creates an engine seeded from an interned RIB, sharing its path
+    /// storage (no per-prefix path clones).
+    pub fn from_interned(config: InferenceConfig, rib: &InternedRib) -> Self {
+        let counters = LinkCounters::from_interned(rib);
+        Self::with_counters(config, counters)
+    }
+
+    fn with_counters(config: InferenceConfig, counters: LinkCounters) -> Self {
         let detector = BurstDetector::new(&config);
         InferenceEngine {
             config,
-            counters: LinkCounters::from_rib(rib),
+            counters,
             detector,
+            ranker: LinkRanker::new(),
+            recent: VecDeque::new(),
             last_attempt_withdrawals: 0,
             accepted: None,
             attempts: 0,
@@ -121,17 +164,34 @@ impl InferenceEngine {
                 prefix,
                 attrs,
             } => {
-                self.counters.on_announce(*prefix, attrs.as_path.clone());
+                self.counters.on_announce_path(*prefix, &attrs.as_path);
                 if self.detector.on_tick(*timestamp) {
                     self.reset_burst_state();
                 }
                 (self.idle_status(), None)
             }
             ElementaryEvent::Withdraw { timestamp, prefix } => {
+                self.buffer_withdrawal(*timestamp, *prefix);
                 self.counters.on_withdraw(*prefix);
                 match self.detector.on_withdrawal(*timestamp) {
                     BurstEvent::None => (EngineStatus::Idle, None),
-                    BurstEvent::Started(_) | BurstEvent::Ongoing => self.maybe_infer(*timestamp),
+                    BurstEvent::Ended => {
+                        // The previous burst drained before this withdrawal
+                        // arrived (withdrawal-only stream): close it so the
+                        // next burst starts clean.
+                        self.reset_burst_state();
+                        (EngineStatus::Idle, None)
+                    }
+                    BurstEvent::Started(_) => {
+                        self.reset_burst_state();
+                        // §4.1: seed the per-burst counters at burst start,
+                        // then replay the detection window — those
+                        // withdrawals belong to the new burst.
+                        let window: Vec<Prefix> = self.recent.iter().map(|(_, p)| *p).collect();
+                        self.counters.start_burst(window);
+                        self.maybe_infer(*timestamp)
+                    }
+                    BurstEvent::Ongoing => self.maybe_infer(*timestamp),
                 }
             }
         }
@@ -166,6 +226,20 @@ impl InferenceEngine {
         }
     }
 
+    /// Keeps `recent` an exact mirror of the detector's sliding window
+    /// (same push order, same eviction cutoff), with prefixes attached.
+    fn buffer_withdrawal(&mut self, t: Timestamp, prefix: Prefix) {
+        self.recent.push_back((t, prefix));
+        let cutoff = t.saturating_sub(self.config.burst_window);
+        while let Some((front, _)) = self.recent.front() {
+            if *front < cutoff {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
     fn idle_status(&self) -> EngineStatus {
         if self.detector.in_burst() {
             EngineStatus::WaitingForTrigger
@@ -178,13 +252,14 @@ impl InferenceEngine {
         self.last_attempt_withdrawals = 0;
         self.accepted = None;
         self.attempts = 0;
+        self.ranker.reset();
     }
 
     fn maybe_infer(&mut self, now: Timestamp) -> (EngineStatus, Option<InferenceResult>) {
         // Only one accepted inference per burst: afterwards the SWIFTED router
         // has already rerouted and simply waits for BGP to converge.
         if self.accepted.is_some() {
-            return (EngineStatus::Accepted, None);
+            return (EngineStatus::AlreadyAccepted, None);
         }
         let seen = self.detector.withdrawals_in_burst();
         if seen < self.last_attempt_withdrawals + self.config.triggering_threshold {
@@ -193,7 +268,10 @@ impl InferenceEngine {
         self.last_attempt_withdrawals = seen;
         self.attempts += 1;
 
-        let links = infer_links(&self.counters, &self.config);
+        let dirty = self.counters.take_dirty();
+        self.ranker.update(dirty, &self.counters);
+        let ranking = self.ranker.ranking(&self.counters, &self.config);
+        let links = infer_links_ranked(&self.counters, &ranking, &self.config);
         let prediction = predict(&self.counters, &links);
         let result = InferenceResult {
             time: now,
@@ -381,5 +459,147 @@ mod tests {
         let results = engine.process_all(events.iter());
         assert_eq!(results.len(), 1);
         assert_eq!(engine.attempts(), 1);
+    }
+
+    #[test]
+    fn already_accepted_is_distinct_from_the_accepting_event() {
+        let table = rib(700);
+        let mut engine = InferenceEngine::new(small_config(), table.iter().map(|(a, b)| (a, b)));
+        let events = withdraw_events(400, 10_000);
+        let mut accepted_at = None;
+        for (i, ev) in events.iter().enumerate() {
+            let (status, res) = engine.process(ev);
+            match status {
+                EngineStatus::Accepted => {
+                    assert!(res.is_some(), "Accepted must carry the result");
+                    assert!(accepted_at.is_none(), "only one accepting event");
+                    accepted_at = Some(i);
+                }
+                EngineStatus::AlreadyAccepted => {
+                    assert!(res.is_none());
+                    assert!(
+                        accepted_at.is_some_and(|at| i > at),
+                        "AlreadyAccepted only after the accepting event"
+                    );
+                }
+                _ => assert!(res.is_none()),
+            }
+        }
+        let at = accepted_at.expect("an inference was accepted");
+        assert_eq!(at, 199, "accepted exactly at the 200-withdrawal trigger");
+    }
+
+    /// Regression test for the withdrawal-only burst lifecycle: a second,
+    /// separate burst of pure withdrawals must close the first burst, re-seed
+    /// the counters and produce its own accepted inference.
+    #[test]
+    fn two_withdrawal_only_bursts_both_produce_inferences() {
+        let table = rib(700);
+        let mut engine = InferenceEngine::new(small_config(), table.iter().map(|(a, b)| (a, b)));
+        let mut events: Vec<ElementaryEvent> = Vec::new();
+        // Burst 1: prefixes 0..300, 10 ms apart.
+        for i in 0..300u32 {
+            events.push(ElementaryEvent::Withdraw {
+                timestamp: u64::from(i) * 10_000,
+                prefix: p(i),
+            });
+        }
+        // Two minutes of silence, then burst 2: prefixes 300..600. Not a
+        // single announcement in the whole stream.
+        let burst2_start = 120 * SECOND;
+        for i in 0..300u32 {
+            events.push(ElementaryEvent::Withdraw {
+                timestamp: burst2_start + u64::from(i) * 10_000,
+                prefix: p(300 + i),
+            });
+        }
+        let mut results = Vec::new();
+        let mut statuses = Vec::new();
+        for ev in &events {
+            let (status, res) = engine.process(ev);
+            statuses.push(status);
+            if let Some(r) = res {
+                results.push(r);
+            }
+        }
+        assert_eq!(results.len(), 2, "each burst yields its own inference");
+        for res in &results {
+            assert_eq!(res.withdrawals_seen, 200, "accepted at the first trigger");
+            assert!(res.links.links.contains(&AsLink::new(5, 6)));
+        }
+        // The gap withdrawal closed the first burst...
+        assert_eq!(statuses[300], EngineStatus::Idle, "burst 1 closed by gap");
+        // ...and burst 2's counters were re-seeded: its WS comes out of its
+        // own 200 withdrawals, not 500 accumulated ones.
+        assert!((results[1].links.score.ws - 1.0).abs() < 1e-9);
+        assert_eq!(engine.attempts(), 1, "attempt counter reset per burst");
+    }
+
+    /// Regression test for per-burst counter seeding: burst 2 hits a disjoint
+    /// part of the topology and its inference must not drag in burst 1's
+    /// links.
+    #[test]
+    fn second_burst_is_not_polluted_by_first_burst_counters() {
+        let mut table: Vec<(Prefix, AsPath)> = Vec::new();
+        for i in 0..300u32 {
+            table.push((p(i), AsPath::new([2u32, 5, 6])));
+        }
+        for i in 300..600u32 {
+            table.push((p(i), AsPath::new([2u32, 9, 10])));
+        }
+        let config = InferenceConfig {
+            use_history: false,
+            ..small_config()
+        };
+        let mut engine = InferenceEngine::new(config, table.iter().map(|(a, b)| (a, b)));
+        let mut events: Vec<ElementaryEvent> = Vec::new();
+        for i in 0..300u32 {
+            events.push(ElementaryEvent::Withdraw {
+                timestamp: u64::from(i) * 10_000,
+                prefix: p(i),
+            });
+        }
+        for i in 0..300u32 {
+            events.push(ElementaryEvent::Withdraw {
+                timestamp: 300 * SECOND + u64::from(i) * 10_000,
+                prefix: p(300 + i),
+            });
+        }
+        let results = engine.process_all(events.iter());
+        assert_eq!(results.len(), 2);
+        assert!(results[0].links.links.contains(&AsLink::new(5, 6)));
+        let second = &results[1];
+        assert!(second.links.links.contains(&AsLink::new(9, 10)));
+        assert!(
+            second
+                .links
+                .links
+                .iter()
+                .all(|l| !l.has_endpoint(swift_bgp::Asn(5)) && !l.has_endpoint(swift_bgp::Asn(6))),
+            "burst 1's links leaked into burst 2: {:?}",
+            second.links.links
+        );
+        // W(t) was re-seeded: burst 2's share denominators are its own.
+        assert!((second.links.score.ws - 1.0).abs() < 1e-9);
+        assert_eq!(second.prediction.total_affected(), 300);
+    }
+
+    #[test]
+    fn interned_seeding_behaves_identically() {
+        let table = rib(700);
+        let interned: InternedRib = table.iter().cloned().collect();
+        assert_eq!(interned.distinct_paths(), 3);
+        let mut a = InferenceEngine::new(small_config(), table.iter().map(|(x, y)| (x, y)));
+        let mut b = InferenceEngine::from_interned(small_config(), &interned);
+        let events = withdraw_events(400, 10_000);
+        let ra = a.process_all(events.iter());
+        let rb = b.process_all(events.iter());
+        assert_eq!(ra.len(), rb.len());
+        assert_eq!(ra[0].links.links, rb[0].links.links);
+        assert_eq!(ra[0].withdrawals_seen, rb[0].withdrawals_seen);
+        assert_eq!(
+            ra[0].prediction.predicted.len(),
+            rb[0].prediction.predicted.len()
+        );
     }
 }

@@ -1,9 +1,19 @@
 //! The Fit Score: the weighted geometric mean of Withdrawal Share and Path
 //! Share (§4.1), for single links and for link sets (§4.2, concurrent
 //! failures).
+//!
+//! Two ranking paths exist:
+//!
+//! * [`rank_links`] — the from-scratch reference: score every link with a
+//!   withdrawal and sort. Used by forced end-of-burst inference and tests.
+//! * [`LinkRanker`] — the incremental form used by the engine's hot path: the
+//!   candidate set (links with `W(l) > 0`) is maintained from the counters'
+//!   dirty-link feed between triggering attempts, so an attempt only scores
+//!   the candidates instead of walking every link the session has ever seen.
 
 use crate::config::InferenceConfig;
 use crate::inference::counters::LinkCounters;
+use std::collections::BTreeSet;
 use swift_bgp::AsLink;
 
 /// The WS / PS / FS values of one link or link set at one point in time.
@@ -54,19 +64,8 @@ pub fn score_link(counters: &LinkCounters, link: &AsLink, config: &InferenceConf
     }
 }
 
-/// Scores a set of links using the aggregated definitions of §4.2, with the
-/// per-prefix union semantics of [`LinkCounters::w_union`] /
-/// [`LinkCounters::p_union`]: `WS(S) = W(S)/W(t)` and
-/// `PS(S) = W(S) / (W(S) + P(S))`, where `W(S)`/`P(S)` count each prefix once
-/// even if its path crosses several links of the set.
-pub fn score_link_set(
-    counters: &LinkCounters,
-    links: &[AsLink],
-    config: &InferenceConfig,
-) -> Score {
-    let total = counters.total_withdrawals();
-    let w = counters.w_union(links);
-    let p = counters.p_union(links);
+/// Builds a [`Score`] from raw `(W(S), P(S), W(t))` counts.
+fn score_from_counts(w: usize, p: usize, total: usize, config: &InferenceConfig) -> Score {
     let ws = if total == 0 {
         0.0
     } else {
@@ -84,6 +83,48 @@ pub fn score_link_set(
     }
 }
 
+/// Scores a set of links using the aggregated definitions of §4.2, with the
+/// per-prefix union semantics of [`LinkCounters::w_union`] /
+/// [`LinkCounters::p_union`]: `WS(S) = W(S)/W(t)` and
+/// `PS(S) = W(S) / (W(S) + P(S))`, where `W(S)`/`P(S)` count each prefix once
+/// even if its path crosses several links of the set.
+///
+/// Both union counts come from the inverted prefix-bitset index in one pass —
+/// `O(|links| × id-space words)` regardless of the RIB size.
+pub fn score_link_set(
+    counters: &LinkCounters,
+    links: &[AsLink],
+    config: &InferenceConfig,
+) -> Score {
+    let (w, p) = counters.union_counts(links);
+    score_from_counts(w, p, counters.total_withdrawals(), config)
+}
+
+/// Reference implementation of [`score_link_set`] using the full-RIB scans
+/// ([`LinkCounters::w_union_scan`] / [`LinkCounters::p_union_scan`]); the
+/// baseline the `exp_scale` experiment and the property tests compare the
+/// index against.
+pub fn score_link_set_scan(
+    counters: &LinkCounters,
+    links: &[AsLink],
+    config: &InferenceConfig,
+) -> Score {
+    let w = counters.w_union_scan(links);
+    let p = counters.p_union_scan(links);
+    score_from_counts(w, p, counters.total_withdrawals(), config)
+}
+
+/// Sorts `(link, score)` pairs by decreasing fit score (ties broken by link
+/// identity for determinism).
+fn sort_ranking(scored: &mut [(AsLink, Score)]) {
+    scored.sort_by(|a, b| {
+        b.1.fs
+            .partial_cmp(&a.1.fs)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+}
+
 /// Scores every link with at least one withdrawal, returning `(link, score)`
 /// pairs sorted by decreasing fit score (ties broken by link identity for
 /// determinism).
@@ -92,13 +133,72 @@ pub fn rank_links(counters: &LinkCounters, config: &InferenceConfig) -> Vec<(AsL
         .links_with_withdrawals()
         .map(|(l, _)| (*l, score_link(counters, l, config)))
         .collect();
-    scored.sort_by(|a, b| {
-        b.1.fs
-            .partial_cmp(&a.1.fs)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    sort_ranking(&mut scored);
     scored
+}
+
+/// Incrementally maintained link ranking for the engine's hot path.
+///
+/// Between two triggering attempts of a burst, only the links actually touched
+/// by withdrawals change their candidacy; the ranker folds the counters'
+/// dirty-link feed ([`LinkCounters::take_dirty`]) into a persistent candidate
+/// set instead of re-discovering it by walking every link the counters know
+/// (a full-table session tracks orders of magnitude more links than a burst
+/// touches). Scores themselves are recomputed per attempt — they are O(1) per
+/// candidate, and `W(t)` in the denominator changes with every withdrawal —
+/// so [`LinkRanker::ranking`] returns exactly what [`rank_links`] would.
+#[derive(Debug, Clone, Default)]
+pub struct LinkRanker {
+    /// Links with `W(l) > 0`, kept sorted for deterministic iteration.
+    candidates: BTreeSet<AsLink>,
+}
+
+impl LinkRanker {
+    /// Creates an empty ranker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets every candidate (call at burst boundaries, alongside
+    /// [`LinkCounters::start_burst`]).
+    pub fn reset(&mut self) {
+        self.candidates.clear();
+    }
+
+    /// Folds a batch of dirty links into the candidate set.
+    pub fn update<I>(&mut self, dirty: I, counters: &LinkCounters)
+    where
+        I: IntoIterator<Item = AsLink>,
+    {
+        for link in dirty {
+            if counters.w(&link) > 0 {
+                self.candidates.insert(link);
+            } else {
+                self.candidates.remove(&link);
+            }
+        }
+    }
+
+    /// Number of current candidate links.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The current ranking — identical to [`rank_links`] on the same counters,
+    /// but scoring only the maintained candidates.
+    pub fn ranking(
+        &self,
+        counters: &LinkCounters,
+        config: &InferenceConfig,
+    ) -> Vec<(AsLink, Score)> {
+        let mut scored: Vec<(AsLink, Score)> = self
+            .candidates
+            .iter()
+            .map(|l| (*l, score_link(counters, l, config)))
+            .collect();
+        sort_ranking(&mut scored);
+        scored
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +336,57 @@ mod tests {
         assert!(rank_links(&c, &cfg).is_empty());
         let set = score_link_set(&c, &[], &cfg);
         assert_eq!(set.fs, 0.0);
+    }
+
+    #[test]
+    fn set_score_matches_scan_reference() {
+        let c = fig4_end();
+        let cfg = InferenceConfig::default();
+        for set in [
+            vec![AsLink::new(5, 6)],
+            vec![AsLink::new(5, 6), AsLink::new(6, 8)],
+            vec![AsLink::new(2, 5), AsLink::new(6, 7)],
+            vec![],
+        ] {
+            let fast = score_link_set(&c, &set, &cfg);
+            let slow = score_link_set_scan(&c, &set, &cfg);
+            assert_eq!(fast, slow, "set {set:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_ranker_matches_rank_links() {
+        let mut rib: Vec<(Prefix, AsPath)> = Vec::new();
+        for i in 0..30 {
+            rib.push((p(i), AsPath::new([2u32, 5, 6])));
+        }
+        for i in 30..40 {
+            rib.push((p(i), AsPath::new([2u32, 9, 10])));
+        }
+        let mut c = LinkCounters::from_rib(rib.iter().map(|(a, b)| (a, b)));
+        let cfg = InferenceConfig::default();
+        let mut ranker = LinkRanker::new();
+        // Interleave withdrawals and announcements, folding dirt as the
+        // engine would between attempts.
+        for i in 0..20u32 {
+            c.on_withdraw(p(i));
+            if i % 5 == 0 {
+                c.on_announce(p(30 + i / 5), AsPath::new([2u32, 5, 3]));
+            }
+            if i % 4 == 0 {
+                ranker.update(c.take_dirty(), &c);
+                assert_eq!(ranker.ranking(&c, &cfg), rank_links(&c, &cfg));
+            }
+        }
+        ranker.update(c.take_dirty(), &c);
+        assert_eq!(ranker.ranking(&c, &cfg), rank_links(&c, &cfg));
+        assert_eq!(ranker.candidate_count(), 2, "(2,5) and (5,6)");
+        // A burst boundary resets both sides.
+        c.start_burst(std::iter::empty());
+        ranker.reset();
+        ranker.update(c.take_dirty(), &c);
+        assert!(ranker.ranking(&c, &cfg).is_empty());
+        assert!(rank_links(&c, &cfg).is_empty());
     }
 
     #[test]

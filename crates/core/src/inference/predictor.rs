@@ -39,7 +39,23 @@ impl Prediction {
 }
 
 /// Computes the prediction for `links` from the current per-session counters.
+///
+/// Runs on the inverted prefix-bitset index: the affected prefixes are read
+/// off the per-link bitsets instead of scanning every RIB entry's path.
 pub fn predict(counters: &LinkCounters, links: &InferredLinks) -> Prediction {
+    if links.is_empty() {
+        return Prediction::default();
+    }
+    let (already_withdrawn, predicted) = counters.crossing_prefixes(&links.links);
+    Prediction {
+        already_withdrawn,
+        predicted,
+    }
+}
+
+/// Reference implementation of [`predict`] by full scan over the tracked
+/// prefixes — kept for the property tests and the `exp_scale` baseline.
+pub fn predict_scan(counters: &LinkCounters, links: &InferredLinks) -> Prediction {
     if links.is_empty() {
         return Prediction::default();
     }
@@ -132,6 +148,22 @@ mod tests {
         let pred = predict(&c, &inferred);
         assert_eq!(pred.total_affected(), 0);
         assert!(pred.affected().is_empty());
+    }
+
+    #[test]
+    fn indexed_prediction_matches_scan_reference() {
+        let mut c = counters();
+        for i in 0..10 {
+            c.on_withdraw(p(i));
+        }
+        for i in 10..15 {
+            c.on_announce(p(i), AsPath::new([2u32, 5, 3, 6, 7]));
+        }
+        let inferred = infer_links(&c, &InferenceConfig::default());
+        let fast = predict(&c, &inferred);
+        let slow = predict_scan(&c, &inferred);
+        assert_eq!(fast.already_withdrawn, slow.already_withdrawn);
+        assert_eq!(fast.predicted, slow.predicted);
     }
 
     #[test]

@@ -12,9 +12,11 @@
 
 use crate::config::SwiftConfig;
 use crate::encoding::{ReroutingPolicy, TwoStageTable};
-use crate::inference::{InferenceEngine, InferenceResult};
+use crate::inference::{EngineStatus, InferenceEngine, InferenceResult};
 use std::collections::BTreeMap;
-use swift_bgp::{AsLink, ElementaryEvent, PeerId, Prefix, PrefixSet, RoutingTable, Timestamp};
+use swift_bgp::{
+    AsLink, ElementaryEvent, InternedRib, PeerId, Prefix, PrefixSet, RoutingTable, Timestamp,
+};
 
 /// What the router did in response to an accepted inference.
 #[derive(Debug, Clone)]
@@ -48,10 +50,14 @@ impl SwiftRouter {
         let mut engines = BTreeMap::new();
         for (peer, _) in table.peers() {
             let rib = table.adj_rib_in(peer).expect("peer just listed");
-            let engine = InferenceEngine::new(
-                config.inference.clone(),
-                rib.iter().map(|(p, r)| (p, &r.attrs.as_path)),
-            );
+            // Intern the session's paths once: every prefix sharing a
+            // provider chain shares one stored path, and the engine seeds
+            // from the interned form without further clones.
+            let mut interned = InternedRib::new();
+            for (p, r) in rib.iter() {
+                interned.push(*p, &r.attrs.as_path);
+            }
+            let engine = InferenceEngine::from_interned(config.inference.clone(), &interned);
             engines.insert(peer, engine);
         }
         let forwarding = TwoStageTable::build(&table, &config.encoding, &policy);
@@ -93,16 +99,19 @@ impl SwiftRouter {
     /// Processes one per-prefix event received on the session with `peer`.
     ///
     /// Returns the reroute action if this event triggered an accepted
-    /// inference.
+    /// inference. Events arriving after the burst's inference was accepted
+    /// ([`EngineStatus::AlreadyAccepted`]) change nothing: the reroute rules
+    /// are already installed and the router is waiting for BGP to converge.
     pub fn handle_event(&mut self, peer: PeerId, event: &ElementaryEvent) -> Option<RerouteAction> {
         // Keep the routing table in sync (the FIB rebuild that BGP would do is
         // intentionally *not* performed per event — that is the slow path SWIFT
         // works around; see `resync_after_convergence`).
         self.table.apply(peer, event);
         let engine = self.engines.get_mut(&peer)?;
-        let (_, result) = engine.process(event);
-        let result = result?;
-        Some(self.apply_inference(peer, &result))
+        match engine.process(event) {
+            (EngineStatus::Accepted, Some(result)) => Some(self.apply_inference(peer, &result)),
+            _ => None,
+        }
     }
 
     /// Processes a whole stream of events on one session.

@@ -1,0 +1,182 @@
+//! Property tests for the inverted prefix-bitset index behind
+//! [`LinkCounters`]: on random RIBs, event streams and burst boundaries, the
+//! bitset-based `w_union` / `p_union` / `crossing_prefixes` / `predict` must
+//! equal the naive full-scan implementations they replaced.
+
+use proptest::prelude::*;
+use swift_bgp::{AsLink, AsPath, Prefix, PrefixSet};
+use swift_core::inference::{
+    infer_links, infer_links_scan, predict, predict_scan, rank_links, LinkCounters, LinkRanker,
+};
+use swift_core::InferenceConfig;
+
+/// A random AS path over a tiny AS universe (1..12) so paths collide on links.
+fn arb_path() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(1u32..12, 0..5)
+}
+
+/// Random RIB entries: (prefix index, hops).
+fn arb_rib() -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
+    proptest::collection::vec((0u32..80, arb_path()), 0..60)
+}
+
+/// Random events: (is_withdraw, prefix index, hops-if-announce).
+fn arb_events() -> impl Strategy<Value = Vec<(bool, u32, Vec<u32>)>> {
+    proptest::collection::vec((any::<bool>(), 0u32..80, arb_path()), 0..120)
+}
+
+fn p(i: u32) -> Prefix {
+    Prefix::nth_slash24(i)
+}
+
+fn build(rib: &[(u32, Vec<u32>)], events: &[(bool, u32, Vec<u32>)]) -> LinkCounters {
+    let seed: Vec<(Prefix, AsPath)> = rib
+        .iter()
+        .map(|(i, hops)| (p(*i), AsPath::new(hops.iter().copied())))
+        .collect();
+    let mut c = LinkCounters::from_rib(seed.iter().map(|(a, b)| (a, b)));
+    for (withdraw, i, hops) in events {
+        if *withdraw {
+            c.on_withdraw(p(*i));
+        } else {
+            c.on_announce_path(p(*i), &AsPath::new(hops.iter().copied()));
+        }
+    }
+    c
+}
+
+/// Every link-set query the inference makes, checked against the scan
+/// reference. Returns an error string on the first mismatch.
+fn check_equivalences(c: &LinkCounters) -> Result<(), String> {
+    let links: Vec<AsLink> = c.all_links().copied().collect();
+    // Single links, a couple of multi-link sets, and an unknown link.
+    let mut sets: Vec<Vec<AsLink>> = links.iter().map(|l| vec![*l]).collect();
+    sets.push(links.clone());
+    for chunk in links.chunks(3) {
+        sets.push(chunk.to_vec());
+    }
+    sets.push(vec![AsLink::new(900, 901)]);
+    sets.push(Vec::new());
+    for set in &sets {
+        if c.w_union(set) != c.w_union_scan(set) {
+            return Err(format!(
+                "w_union mismatch on {set:?}: {} != {}",
+                c.w_union(set),
+                c.w_union_scan(set)
+            ));
+        }
+        if c.p_union(set) != c.p_union_scan(set) {
+            return Err(format!(
+                "p_union mismatch on {set:?}: {} != {}",
+                c.p_union(set),
+                c.p_union_scan(set)
+            ));
+        }
+        if c.union_counts(set) != (c.w_union(set), c.p_union(set)) {
+            return Err(format!("union_counts inconsistent on {set:?}"));
+        }
+        let (withdrawn, routed) = c.crossing_prefixes(set);
+        let scan_withdrawn: PrefixSet = c
+            .withdrawn()
+            .filter(|(_, path)| path.crosses_any(set))
+            .map(|(q, _)| *q)
+            .collect();
+        let scan_routed: PrefixSet = c
+            .routed()
+            .filter(|(_, path)| path.crosses_any(set))
+            .map(|(q, _)| *q)
+            .collect();
+        if withdrawn != scan_withdrawn || routed != scan_routed {
+            return Err(format!("crossing_prefixes mismatch on {set:?}"));
+        }
+    }
+    // The maintained per-link counts agree with what the iterators say.
+    for l in &links {
+        let scan_p = c.routed().filter(|(_, path)| path.crosses_link(l)).count();
+        if c.p(l) != scan_p {
+            return Err(format!("p({l}) = {} but scan says {scan_p}", c.p(l)));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Bitset unions equal naive scans on arbitrary RIBs and event streams.
+    #[test]
+    fn index_matches_scan_on_random_streams(rib in arb_rib(), events in arb_events()) {
+        let c = build(&rib, &events);
+        if let Err(msg) = check_equivalences(&c) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    /// The equivalences survive a burst boundary: start_burst purges old
+    /// withdrawals and replays the window without desyncing index and scans.
+    #[test]
+    fn index_matches_scan_across_burst_boundaries(
+        rib in arb_rib(),
+        events in arb_events(),
+        window in proptest::collection::vec(0u32..90, 0..30),
+        tail in arb_events(),
+    ) {
+        let mut c = build(&rib, &events);
+        c.start_burst(window.iter().map(|i| p(*i)));
+        if let Err(msg) = check_equivalences(&c) {
+            prop_assert!(false, "after start_burst: {}", msg);
+        }
+        // W(t) counts the whole window; W(l) only resurrected prefixes.
+        prop_assert_eq!(c.total_withdrawals(), window.len());
+        // Keep processing events after the boundary.
+        for (withdraw, i, hops) in &tail {
+            if *withdraw {
+                c.on_withdraw(p(*i));
+            } else {
+                c.on_announce_path(p(*i), &AsPath::new(hops.iter().copied()));
+            }
+        }
+        if let Err(msg) = check_equivalences(&c) {
+            prop_assert!(false, "after post-burst events: {}", msg);
+        }
+    }
+
+    /// The full inference (link selection + prediction) agrees between the
+    /// indexed implementation and the scan baseline.
+    #[test]
+    fn inference_matches_scan_baseline(rib in arb_rib(), events in arb_events()) {
+        let c = build(&rib, &events);
+        let cfg = InferenceConfig::default();
+        let fast = infer_links(&c, &cfg);
+        let slow = infer_links_scan(&c, &cfg);
+        prop_assert_eq!(&fast.links, &slow.links);
+        let pf = predict(&c, &fast);
+        let ps = predict_scan(&c, &slow);
+        prop_assert_eq!(pf.already_withdrawn, ps.already_withdrawn);
+        prop_assert_eq!(pf.predicted, ps.predicted);
+    }
+
+    /// The incrementally maintained candidate ranking equals the from-scratch
+    /// ranking at every drain point.
+    #[test]
+    fn incremental_ranking_matches_from_scratch(rib in arb_rib(), events in arb_events()) {
+        let seed: Vec<(Prefix, AsPath)> = rib
+            .iter()
+            .map(|(i, hops)| (p(*i), AsPath::new(hops.iter().copied())))
+            .collect();
+        let mut c = LinkCounters::from_rib(seed.iter().map(|(a, b)| (a, b)));
+        let cfg = InferenceConfig::default();
+        let mut ranker = LinkRanker::new();
+        for (k, (withdraw, i, hops)) in events.iter().enumerate() {
+            if *withdraw {
+                c.on_withdraw(p(*i));
+            } else {
+                c.on_announce_path(p(*i), &AsPath::new(hops.iter().copied()));
+            }
+            if k % 7 == 0 {
+                ranker.update(c.take_dirty(), &c);
+                prop_assert_eq!(ranker.ranking(&c, &cfg), rank_links(&c, &cfg));
+            }
+        }
+        ranker.update(c.take_dirty(), &c);
+        prop_assert_eq!(ranker.ranking(&c, &cfg), rank_links(&c, &cfg));
+    }
+}

@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use swift_bgp::{
-    AsLink, AsPath, Asn, BgpMessage, MessageStream, PeerId, Prefix, PrefixSet, Route,
+    AsLink, AsPath, Asn, BgpMessage, InternedRib, MessageStream, PeerId, Prefix, PrefixSet, Route,
     RouteAttributes, RoutingTable, Timestamp, SECOND,
 };
 
@@ -153,8 +153,10 @@ pub struct MaterializedBurst {
 pub struct SessionTrace {
     /// The session's catalog entry.
     pub meta: SessionMeta,
-    /// The session's Adj-RIB-In at the start of the trace.
-    pub rib: Vec<(Prefix, AsPath)>,
+    /// The session's Adj-RIB-In at the start of the trace, with interned
+    /// paths (replay consumers seed from it without cloning one `AsPath` per
+    /// prefix — see [`InternedRib`]).
+    pub rib: InternedRib,
     /// Prefixes considered "popular" (Umbrella-top-100-like origins).
     pub popular: PrefixSet,
     /// The session's bursts.
@@ -163,11 +165,7 @@ pub struct SessionTrace {
 
 /// A freshly built Adj-RIB-In: the table itself, its popular prefixes and the
 /// per-link prefix index used when materialising bursts.
-type RibParts = (
-    Vec<(Prefix, AsPath)>,
-    PrefixSet,
-    BTreeMap<AsLink, Vec<Prefix>>,
-);
+type RibParts = (InternedRib, PrefixSet, BTreeMap<AsLink, Vec<Prefix>>);
 
 impl Corpus {
     /// Draws the corpus catalog.
@@ -277,7 +275,7 @@ impl Corpus {
             })
             .collect();
 
-        let mut rib = Vec::with_capacity(n);
+        let mut rib = InternedRib::new();
         let mut link_prefixes: BTreeMap<AsLink, Vec<Prefix>> = BTreeMap::new();
         let prefix_base = meta.peer.0 * 1_000_000;
 
@@ -302,7 +300,8 @@ impl Corpus {
             for link in path.links() {
                 link_prefixes.entry(link).or_default().push(prefix);
             }
-            rib.push((prefix, path));
+            // Interned: prefixes sharing a provider chain share one stored path.
+            rib.push_owned(prefix, path);
         }
 
         // Popular prefixes: everything behind the heaviest second-hop link
@@ -320,7 +319,7 @@ impl Corpus {
     fn build_burst(
         &self,
         meta: &BurstMeta,
-        rib: &[(Prefix, AsPath)],
+        rib: &InternedRib,
         popular: &PrefixSet,
         link_prefixes: &BTreeMap<AsLink, Vec<Prefix>>,
     ) -> MaterializedBurst {
@@ -422,12 +421,12 @@ impl Corpus {
         let windows = (duration / (10 * SECOND)).max(1);
         let noise_count = (windows as f64 * self.config.noise_per_window) as usize;
         for _ in 0..noise_count {
-            let (p, path) = &rib[rng.gen_range(0..rib.len())];
+            let (p, path) = rib.get(rng.gen_range(0..rib.len()));
             if path.crosses_link(&failed_link) {
                 continue;
             }
             let t = meta.start + rng.gen_range(0..duration);
-            messages.push(BgpMessage::withdraw(t, *p));
+            messages.push(BgpMessage::withdraw(t, p));
         }
 
         let touches_popular = withdrawn_set
@@ -459,7 +458,7 @@ impl SessionTrace {
         table.add_peer(PeerId(2), Asn(8_000_001));
         table.add_peer(PeerId(3), Asn(8_000_002));
         let mut rng = StdRng::seed_from_u64(self.meta.seed ^ 0xa17e_77a7);
-        for (prefix, path) in &self.rib {
+        for (prefix, path) in self.rib.iter() {
             let mut attrs = RouteAttributes::from_path(path.clone());
             attrs.local_pref = Some(200);
             table.announce(monitored, *prefix, Route::new(monitored, attrs, 0));
@@ -554,7 +553,7 @@ mod tests {
             assert!(!burst.withdrawn.is_empty());
             // Withdrawn prefixes all crossed the failed link in the RIB.
             for p in burst.withdrawn.iter().take(50) {
-                let path = &session.rib.iter().find(|(q, _)| q == p).unwrap().1;
+                let path = session.rib.iter().find(|(q, _)| *q == p).unwrap().1;
                 assert!(path.crosses_link(&burst.failed_link));
             }
             // The stream contains at least the withdrawals.
@@ -592,7 +591,7 @@ mod tests {
         assert_eq!(table.peer_count(), 3);
         assert_eq!(table.prefix_count(), session.rib.len());
         // The monitored session is primary thanks to LOCAL_PREF.
-        let some_prefix = session.rib[0].0;
+        let some_prefix = session.rib.get(0).0;
         assert_eq!(
             table.best(&some_prefix).unwrap().peer,
             session.monitored_peer()

@@ -33,8 +33,7 @@ fn main() {
             session.bursts.len()
         );
         for (i, burst) in session.bursts.iter().enumerate() {
-            let mut engine =
-                InferenceEngine::new(config.clone(), session.rib.iter().map(|(p, a)| (p, a)));
+            let mut engine = InferenceEngine::from_interned(config.clone(), &session.rib);
             let events: Vec<_> = burst.stream.elementary_events().collect();
             let mut accepted = None;
             for ev in &events {

@@ -49,8 +49,7 @@ fn inference_on_corpus_bursts_is_accurate_and_rarely_wrong() {
     for s in 0..corpus.num_sessions() {
         let session = corpus.materialize_session(s);
         for burst in &session.bursts {
-            let mut engine =
-                InferenceEngine::new(config.clone(), session.rib.iter().map(|(p, a)| (p, a)));
+            let mut engine = InferenceEngine::from_interned(config.clone(), &session.rib);
             let mut accepted = None;
             for ev in burst.stream.elementary_events() {
                 if let (_, Some(r)) = engine.process(&ev) {
@@ -101,10 +100,7 @@ fn encoding_covers_most_predicted_prefixes_at_18_bits() {
 
     let mut checked = 0;
     for burst in &session.bursts {
-        let mut engine = InferenceEngine::new(
-            infer_config.clone(),
-            session.rib.iter().map(|(p, a)| (p, a)),
-        );
+        let mut engine = InferenceEngine::from_interned(infer_config.clone(), &session.rib);
         let mut accepted = None;
         for ev in burst.stream.elementary_events() {
             if let (_, Some(r)) = engine.process(&ev) {

@@ -11,12 +11,23 @@
 //! Each benchmark is warmed up briefly, then timed over an adaptive number of
 //! iterations (targeting ~200 ms of measurement), and the mean per-iteration
 //! time is printed. There are no statistical comparisons or HTML reports.
+//!
+//! Passing `--quick-check` (e.g. `cargo bench -- --quick-check`) runs every
+//! benchmark body exactly once without the measurement phase — a fast CI rot
+//! check that the benches still compile and execute, not a measurement.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Returns `true` when `--quick-check` was passed on the command line.
+fn quick_check() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--quick-check"))
+}
 
 /// Re-exports of the most commonly used items, mirroring upstream.
 pub mod prelude {
@@ -47,11 +58,20 @@ impl Bencher {
     }
 
     /// Runs `f` repeatedly and records its mean wall-clock time.
+    ///
+    /// With `--quick-check`, runs `f` exactly once and records that single
+    /// execution instead of entering the measurement phase.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up: run once to estimate cost (and fault in caches/pages).
         let start = Instant::now();
         black_box(f());
         let once = start.elapsed().max(Duration::from_nanos(1));
+
+        if quick_check() {
+            self.iterations = 1;
+            self.elapsed_per_iter = once;
+            return;
+        }
 
         // Aim for ~200 ms of measurement, capped to keep huge bodies fast.
         let target = Duration::from_millis(200);
