@@ -17,4 +17,4 @@ pub use allocator::EncodingPlan;
 pub use backup::{select_backup, BackupTable, PrefixBackups};
 pub use policy::ReroutingPolicy;
 pub use tag::{TagLayout, TagRule};
-pub use two_stage::{Stage2Rule, TwoStageTable};
+pub use two_stage::{RerouteId, Stage2Rule, TwoStageTable};

@@ -11,11 +11,17 @@
 
 use crate::config::EncodingConfig;
 use crate::encoding::allocator::EncodingPlan;
-use crate::encoding::backup::BackupTable;
+use crate::encoding::backup::select_backup;
 use crate::encoding::policy::ReroutingPolicy;
 use crate::encoding::tag::{TagLayout, TagRule};
 use std::collections::{BTreeMap, BTreeSet};
 use swift_bgp::{AsLink, PeerId, Prefix, PrefixSet, RoutingTable};
+
+/// Identifier of one installed reroute (one accepted inference's batch of
+/// stage-2 rules), handed out by [`TwoStageTable::install_reroute_tracked`]
+/// and consumed by [`TwoStageTable::remove_reroute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RerouteId(pub u32);
 
 /// A stage-2 rule: a ternary tag match forwarding to a next-hop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +35,9 @@ pub struct Stage2Rule {
     /// Whether the rule was installed by SWIFT fast-reroute (vs. the default
     /// BGP-consistent rules).
     pub swift_installed: bool,
+    /// The reroute this rule belongs to (`None` for default rules), so a
+    /// converged reroute can be undone without touching the rest of the table.
+    pub reroute: Option<RerouteId>,
 }
 
 /// Priorities used for the two rule classes.
@@ -48,6 +57,7 @@ pub struct TwoStageTable {
     nexthop_index: BTreeMap<PeerId, u64>,
     nexthops: Vec<PeerId>,
     max_depth: usize,
+    next_reroute: u32,
 }
 
 impl TwoStageTable {
@@ -55,10 +65,15 @@ impl TwoStageTable {
     ///
     /// The plan is derived from the best paths, the backup next-hops honour
     /// `policy`, and one default stage-2 rule per known next-hop is installed.
+    ///
+    /// The encoding plan, tag layout and next-hop index computed here are the
+    /// *offline* part of the scheme (§5: pre-computed before any outage); they
+    /// stay fixed until the next full `build`. Stage-1 tags, by contrast, can
+    /// be refreshed per prefix as routes change — see
+    /// [`TwoStageTable::refresh_prefixes`].
     pub fn build(table: &RoutingTable, config: &EncodingConfig, policy: &ReroutingPolicy) -> Self {
         let plan = EncodingPlan::from_routing_table(table, config);
         let layout = plan.layout(config);
-        let backups = BackupTable::compute(table, config.max_depth, policy);
 
         // Index the next-hops: every peer, capped by the slot width. Index 0 is
         // reserved for "no next-hop", so peers start at 1.
@@ -72,30 +87,6 @@ impl TwoStageTable {
             nexthop_index.insert(peer, nexthops.len() as u64);
         }
 
-        let mut stage1 = BTreeMap::new();
-        for (prefix, entry) in backups.iter() {
-            let Some(best) = table.best(prefix) else {
-                continue;
-            };
-            let mut tag = 0u64;
-            // AS-path part.
-            for (i, code) in plan.path_codes(best.as_path()).iter().enumerate() {
-                tag = layout.set_position(tag, i + 1, *code);
-            }
-            // Next-hop part: slot 0 primary, slot d backup for position d.
-            if let Some(idx) = nexthop_index.get(&entry.primary) {
-                tag = layout.set_nexthop(tag, 0, *idx);
-            }
-            for (d, backup) in entry.backups.iter().enumerate() {
-                if let Some(peer) = backup {
-                    if let Some(idx) = nexthop_index.get(peer) {
-                        tag = layout.set_nexthop(tag, d + 1, *idx);
-                    }
-                }
-            }
-            stage1.insert(*prefix, tag);
-        }
-
         // Default stage-2 rules: forward on the primary next-hop slot.
         let mut stage2 = Vec::new();
         for (peer, idx) in &nexthop_index {
@@ -104,18 +95,91 @@ impl TwoStageTable {
                 rule: layout.primary_rule(*idx),
                 next_hop: *peer,
                 swift_installed: false,
+                reroute: None,
             });
         }
 
-        TwoStageTable {
+        let mut ts = TwoStageTable {
             layout,
             plan,
-            stage1,
+            stage1: BTreeMap::new(),
             stage2,
             nexthop_index,
             nexthops,
             max_depth: config.max_depth,
+            next_reroute: 0,
+        };
+        // Tag every prefix through the same per-prefix path the incremental
+        // refresh uses — build and refresh cannot drift apart.
+        let prefixes: Vec<Prefix> = table.best_routes().map(|(p, _)| *p).collect();
+        ts.refresh_prefixes(table, policy, prefixes);
+        ts
+    }
+
+    /// Recomputes the stage-1 entry of each given prefix from the current
+    /// routing state: tag (AS-path codes, primary and backup next-hops) for
+    /// routed prefixes, removal for prefixes without any remaining route.
+    /// Returns the number of entries touched.
+    ///
+    /// This is the incremental half of `resync_after_convergence`: after BGP
+    /// reconverges, only the prefixes whose routes changed during the outage
+    /// need new tags — the encoding plan, layout and next-hop index (the
+    /// offline-precomputed state) are reused as-is. Callers that suspect the
+    /// plan itself has rotted (e.g. after massive topology churn) should
+    /// rebuild with [`TwoStageTable::build`] instead.
+    pub fn refresh_prefixes<I>(
+        &mut self,
+        table: &RoutingTable,
+        policy: &ReroutingPolicy,
+        prefixes: I,
+    ) -> usize
+    where
+        I: IntoIterator<Item = Prefix>,
+    {
+        let mut touched = 0;
+        for prefix in prefixes {
+            touched += 1;
+            match self.compute_tag(table, &prefix, policy) {
+                Some(tag) => {
+                    self.stage1.insert(prefix, tag);
+                }
+                None => {
+                    self.stage1.remove(&prefix);
+                }
+            }
         }
+        touched
+    }
+
+    /// The stage-1 tag of `prefix` under the current routing state, or `None`
+    /// if no route remains. Shared by `build` and `refresh_prefixes`.
+    fn compute_tag(
+        &self,
+        table: &RoutingTable,
+        prefix: &Prefix,
+        policy: &ReroutingPolicy,
+    ) -> Option<u64> {
+        let best = table.best(prefix)?;
+        let mut tag = 0u64;
+        // AS-path part.
+        for (i, code) in self.plan.path_codes(best.as_path()).iter().enumerate() {
+            tag = self.layout.set_position(tag, i + 1, *code);
+        }
+        // Next-hop part: slot 0 primary, slot d backup for position d.
+        if let Some(idx) = self.nexthop_index.get(&best.peer) {
+            tag = self.layout.set_nexthop(tag, 0, *idx);
+        }
+        for pos in 1..=self.max_depth {
+            let Some(link) = best.as_path().link_at_position(pos) else {
+                continue;
+            };
+            if let Some(peer) = select_backup(table, prefix, best.peer, &link, policy) {
+                if let Some(idx) = self.nexthop_index.get(&peer) {
+                    tag = self.layout.set_nexthop(tag, pos, *idx);
+                }
+            }
+        }
+        Some(tag)
     }
 
     /// The tag of `prefix`, if it has one.
@@ -171,6 +235,15 @@ impl TwoStageTable {
     /// data-plane updates a real router would perform, independent of how many
     /// prefixes are rerouted.
     pub fn install_reroute(&mut self, links: &[AsLink]) -> usize {
+        self.install_reroute_tracked(links).1
+    }
+
+    /// Like [`TwoStageTable::install_reroute`], additionally returning the
+    /// [`RerouteId`] tagged onto the installed rules so the caller can undo
+    /// exactly this reroute later with [`TwoStageTable::remove_reroute`].
+    pub fn install_reroute_tracked(&mut self, links: &[AsLink]) -> (RerouteId, usize) {
+        let id = RerouteId(self.next_reroute);
+        self.next_reroute += 1;
         let mut installed = 0usize;
         for link in links {
             for pos in self.plan.positions_of(link) {
@@ -205,12 +278,28 @@ impl TwoStageTable {
                         rule,
                         next_hop: peer,
                         swift_installed: true,
+                        reroute: Some(id),
                     });
                     installed += 1;
                 }
             }
         }
-        installed
+        (id, installed)
+    }
+
+    /// Removes the stage-2 rules belonging to one converged reroute, leaving
+    /// every other reroute's rules (and the default rules) in place. Returns
+    /// the number of rules removed.
+    ///
+    /// Note on overlap: a reroute whose rules were all deduplicated against an
+    /// earlier, still-installed reroute removes nothing here — the rules
+    /// belong to the earlier id. Callers that tear down *all* outstanding
+    /// reroutes at once (the reconvergence resync) are unaffected; callers
+    /// removing reroutes selectively should remove them oldest-first.
+    pub fn remove_reroute(&mut self, id: RerouteId) -> usize {
+        let before = self.stage2.len();
+        self.stage2.retain(|r| r.reroute != Some(id));
+        before - self.stage2.len()
     }
 
     /// Removes every SWIFT-installed rule (used once BGP has reconverged and
@@ -403,6 +492,72 @@ mod tests {
         );
         // Same-path prefixes share the same tag.
         assert_eq!(t6, ts.tag_of(&p(1)).unwrap());
+    }
+
+    #[test]
+    fn remove_reroute_undoes_exactly_one_inference() {
+        let table = fig1_table(10);
+        let mut ts = TwoStageTable::build(&table, &config(), &ReroutingPolicy::allow_all());
+        let (id_a, installed_a) = ts.install_reroute_tracked(&[AsLink::new(2, 5)]);
+        assert!(installed_a >= 1);
+        // A second, disjoint reroute on an unencoded link installs nothing but
+        // still consumes a distinct id.
+        let (id_b, installed_b) = ts.install_reroute_tracked(&[AsLink::new(99, 100)]);
+        assert_ne!(id_a, id_b);
+        assert_eq!(installed_b, 0);
+        assert_eq!(ts.swift_rule_count(), installed_a);
+        // Removing the empty reroute touches nothing.
+        assert_eq!(ts.remove_reroute(id_b), 0);
+        assert_eq!(ts.swift_rule_count(), installed_a);
+        // Removing the real one restores primary forwarding.
+        assert_eq!(ts.remove_reroute(id_a), installed_a);
+        assert_eq!(ts.swift_rule_count(), 0);
+        assert_eq!(ts.lookup(&p(0)), Some(PeerId(2)));
+        // Removing an already-removed reroute is a no-op.
+        assert_eq!(ts.remove_reroute(id_a), 0);
+    }
+
+    #[test]
+    fn refresh_prefixes_tracks_route_changes() {
+        let mut table = fig1_table(10);
+        let policy = ReroutingPolicy::allow_all();
+        let mut ts = TwoStageTable::build(&table, &config(), &policy);
+        assert_eq!(ts.lookup(&p(0)), Some(PeerId(2)));
+
+        // Peer 2 withdraws p(0): after a refresh of just that prefix the
+        // lookup follows the new best route; other prefixes are untouched.
+        table.apply(
+            PeerId(2),
+            &swift_bgp::ElementaryEvent::Withdraw {
+                timestamp: 0,
+                prefix: p(0),
+            },
+        );
+        assert_eq!(ts.refresh_prefixes(&table, &policy, [p(0)]), 1);
+        assert_eq!(ts.lookup(&p(0)), Some(PeerId(3)), "new best is peer 3");
+        assert_eq!(ts.lookup(&p(1)), Some(PeerId(2)));
+
+        // All peers withdraw p(1): the stage-1 entry disappears.
+        for peer in [2u32, 3, 4] {
+            table.apply(
+                PeerId(peer),
+                &swift_bgp::ElementaryEvent::Withdraw {
+                    timestamp: 0,
+                    prefix: p(1),
+                },
+            );
+        }
+        ts.refresh_prefixes(&table, &policy, [p(1)]);
+        assert_eq!(ts.lookup(&p(1)), None);
+        assert_eq!(ts.stage1_len(), 29);
+
+        // Refreshing every prefix of an *unchanged* table is a no-op: the
+        // per-prefix path and the bulk build agree entry for entry.
+        let rebuilt = TwoStageTable::build(&table, &config(), &policy);
+        ts.refresh_prefixes(&table, &policy, (0..30).map(p));
+        for i in 0..30 {
+            assert_eq!(ts.tag_of(&p(i)), rebuilt.tag_of(&p(i)), "prefix {i}");
+        }
     }
 
     #[test]

@@ -1,128 +1,361 @@
-//! A growable fixed-width bitset over dense prefix ids.
+//! A growable hybrid bitset over dense prefix ids.
 //!
 //! The inverted index in [`super::counters`] keys every AS link to the set of
 //! prefixes whose path crosses it. With prefixes mapped to dense `u32` ids,
-//! those sets are plain word-packed bitsets: set-union and
-//! intersection-cardinality — the whole of the `W(S)`/`P(S)` computation —
-//! become word-wise OR / AND + popcount, `O(ids / 64)` per link instead of a
-//! scan over the entire session RIB.
+//! those sets support set-union and intersection-cardinality — the whole of
+//! the `W(S)`/`P(S)` computation — in `O(ids / 64)` word operations instead of
+//! a scan over the entire session RIB.
+//!
+//! # Hybrid representation
+//!
+//! A word-packed bitset costs `max_id / 8` bytes regardless of how many bits
+//! are set. At Internet scale that is ruinous for the *per-link* sets: a
+//! 1M-prefix RIB spreads its prefixes over tens of thousands of links, most of
+//! which carry a few hundred prefixes — a dense bitset per link would cost
+//! `125 KB × links` (gigabytes) to store kilobytes of information. [`IdBitSet`]
+//! therefore stores small-relative-to-the-id-space sets as a sorted posting
+//! list (`Vec<u32>`) and promotes to the word-packed form exactly when the
+//! dense form becomes the smaller of the two (`32 × len > max_id + 1`, i.e.
+//! 4 bytes per entry vs 1 bit per id). Promotion is one-way: sets that shrink
+//! again (withdrawal purges) stay dense — re-demotion would thrash on
+//! burst-boundary churn.
+//!
+//! All operations are representation-agnostic: unions, intersection counts and
+//! id iteration accept any sparse/dense operand mix, and equality compares
+//! *contents*, never representations.
 
-/// A bitset over dense ids, growing on demand.
+/// Sparse form: sorted, deduplicated posting list. Dense form: word-packed
+/// bits, low id first. Unset ids beyond the allocation are absent in both
+/// forms; every operation treats a set as conceptually infinite, zero-padded.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Sorted posting list of set ids.
+    Sparse(Vec<u32>),
+    /// Word-packed bits (`id / 64` indexes the word, `id % 64` the bit).
+    Dense(Vec<u64>),
+}
+
+/// A hybrid sparse/dense bitset over dense ids, growing on demand.
 ///
-/// Unset ids beyond the allocated words are simply absent; all operations
-/// treat the set as conceptually infinite and zero-padded.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Starts as a posting list and promotes itself to the word-packed form when
+/// that becomes the more compact representation (see the module docs).
+#[derive(Debug, Clone)]
 pub struct IdBitSet {
-    words: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for IdBitSet {
+    fn default() -> Self {
+        IdBitSet {
+            repr: Repr::Sparse(Vec::new()),
+        }
+    }
+}
+
+/// A posting list of `len` ids costs `32 × len` bits; the dense form costs
+/// `max_id + 1` bits rounded up to a whole 64-bit word. Promote at the
+/// crossover.
+fn dense_is_smaller(len: usize, max_id: u32) -> bool {
+    (len as u64) * 32 > (u64::from(max_id) / 64 + 1) * 64
+}
+
+fn dense_words(ids: &[u32]) -> Vec<u64> {
+    let cap = ids.last().map_or(0, |&m| m as usize + 1);
+    let mut words = vec![0u64; cap.div_ceil(64)];
+    for &id in ids {
+        words[(id / 64) as usize] |= 1u64 << (id % 64);
+    }
+    words
 }
 
 impl IdBitSet {
-    /// Creates an empty set.
+    /// Creates an empty set (sparse until promotion pays off).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates an empty set pre-sized for ids `< capacity`.
+    /// Creates an empty *dense* set pre-sized for ids `< capacity`.
+    ///
+    /// Use when the set is known to become dense (e.g. the global
+    /// routed/withdrawn id sets): it skips the sparse phase entirely.
     pub fn with_capacity(capacity: usize) -> Self {
         IdBitSet {
-            words: vec![0; capacity.div_ceil(64)],
+            repr: Repr::Dense(vec![0; capacity.div_ceil(64)]),
+        }
+    }
+
+    /// Returns `true` if the set currently uses the word-packed form.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// Bytes of heap memory behind the set (the quantity the hybrid
+    /// representation exists to bound).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(v) => v.capacity() * std::mem::size_of::<u32>(),
+            Repr::Dense(w) => w.capacity() * std::mem::size_of::<u64>(),
+        }
+    }
+
+    fn promote(&mut self) {
+        if let Repr::Sparse(v) = &self.repr {
+            self.repr = Repr::Dense(dense_words(v));
         }
     }
 
     /// Sets bit `id`.
     pub fn set(&mut self, id: u32) {
-        let word = (id / 64) as usize;
-        if word >= self.words.len() {
-            self.words.resize(word + 1, 0);
+        match &mut self.repr {
+            Repr::Sparse(v) => {
+                match v.last() {
+                    // Ascending insertion (the common case: prefix ids are
+                    // handed out in seeding order) is a plain push.
+                    Some(&last) if id > last => v.push(id),
+                    None => v.push(id),
+                    Some(&last) if id == last => return,
+                    _ => match v.binary_search(&id) {
+                        Ok(_) => return,
+                        Err(pos) => v.insert(pos, id),
+                    },
+                }
+                let max = *v.last().expect("just pushed");
+                if dense_is_smaller(v.len(), max) {
+                    self.promote();
+                }
+            }
+            Repr::Dense(words) => {
+                let word = (id / 64) as usize;
+                if word >= words.len() {
+                    words.resize(word + 1, 0);
+                }
+                words[word] |= 1u64 << (id % 64);
+            }
         }
-        self.words[word] |= 1u64 << (id % 64);
     }
 
     /// Clears bit `id`.
     pub fn clear(&mut self, id: u32) {
-        let word = (id / 64) as usize;
-        if word < self.words.len() {
-            self.words[word] &= !(1u64 << (id % 64));
+        match &mut self.repr {
+            Repr::Sparse(v) => {
+                if let Ok(pos) = v.binary_search(&id) {
+                    v.remove(pos);
+                }
+            }
+            Repr::Dense(words) => {
+                let word = (id / 64) as usize;
+                if word < words.len() {
+                    words[word] &= !(1u64 << (id % 64));
+                }
+            }
         }
     }
 
     /// Returns `true` if bit `id` is set.
     pub fn test(&self, id: u32) -> bool {
-        let word = (id / 64) as usize;
-        word < self.words.len() && self.words[word] & (1u64 << (id % 64)) != 0
+        match &self.repr {
+            Repr::Sparse(v) => v.binary_search(&id).is_ok(),
+            Repr::Dense(words) => {
+                let word = (id / 64) as usize;
+                word < words.len() && words[word] & (1u64 << (id % 64)) != 0
+            }
+        }
     }
 
-    /// Clears every bit (keeps the allocation).
+    /// Clears every bit (keeps the allocation and the representation).
     pub fn clear_all(&mut self) {
-        self.words.fill(0);
+        match &mut self.repr {
+            Repr::Sparse(v) => v.clear(),
+            Repr::Dense(words) => words.fill(0),
+        }
     }
 
     /// Number of set bits.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        match &self.repr {
+            Repr::Sparse(v) => v.len(),
+            Repr::Dense(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+        }
     }
 
     /// Returns `true` if no bit is set.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|w| *w == 0)
-    }
-
-    /// The backing words (low id first).
-    pub fn words(&self) -> &[u64] {
-        &self.words
+        match &self.repr {
+            Repr::Sparse(v) => v.is_empty(),
+            Repr::Dense(words) => words.iter().all(|w| *w == 0),
+        }
     }
 
     /// ORs `other` into `self`.
     pub fn union_with(&mut self, other: &IdBitSet) {
-        if other.words.len() > self.words.len() {
-            self.words.resize(other.words.len(), 0);
-        }
-        for (dst, src) in self.words.iter_mut().zip(other.words.iter()) {
-            *dst |= *src;
+        match (&mut self.repr, &other.repr) {
+            (Repr::Dense(dst), Repr::Dense(src)) => {
+                if src.len() > dst.len() {
+                    dst.resize(src.len(), 0);
+                }
+                for (d, s) in dst.iter_mut().zip(src.iter()) {
+                    *d |= *s;
+                }
+            }
+            (Repr::Dense(dst), Repr::Sparse(src)) => {
+                if let Some(&max) = src.last() {
+                    let need = (max / 64) as usize + 1;
+                    if need > dst.len() {
+                        dst.resize(need, 0);
+                    }
+                    for &id in src {
+                        dst[(id / 64) as usize] |= 1u64 << (id % 64);
+                    }
+                }
+            }
+            (Repr::Sparse(_), Repr::Dense(_)) => {
+                // The union is at least as populated as the dense operand:
+                // go dense first, then OR word-wise.
+                self.promote();
+                self.union_with(other);
+            }
+            (Repr::Sparse(dst), Repr::Sparse(src)) => {
+                if src.is_empty() {
+                    return;
+                }
+                let mut merged = Vec::with_capacity(dst.len() + src.len());
+                let (mut i, mut j) = (0, 0);
+                while i < dst.len() && j < src.len() {
+                    match dst[i].cmp(&src[j]) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(dst[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            merged.push(src[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            merged.push(dst[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                merged.extend_from_slice(&dst[i..]);
+                merged.extend_from_slice(&src[j..]);
+                let max = *merged.last().expect("src non-empty");
+                let promote = dense_is_smaller(merged.len(), max);
+                *dst = merged;
+                if promote {
+                    self.promote();
+                }
+            }
         }
     }
 
     /// `|self ∧ other|` without materialising the intersection.
     pub fn intersection_count(&self, other: &IdBitSet) -> usize {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => a
+                .iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum(),
+            (Repr::Sparse(ids), Repr::Dense(_)) => ids.iter().filter(|&&id| other.test(id)).count(),
+            (Repr::Dense(_), Repr::Sparse(ids)) => ids.iter().filter(|&&id| self.test(id)).count(),
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                let (mut i, mut j, mut n) = (0, 0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            n += 1;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                n
+            }
+        }
     }
 
     /// Iterates over the ids of set bits in `self ∧ other`, ascending.
+    ///
+    /// Walks whichever operand holds fewer bits and membership-tests the
+    /// other, so the cost is `O(min-count × test)` for any representation mix.
     pub fn intersection_ids<'a>(&'a self, other: &'a IdBitSet) -> impl Iterator<Item = u32> + 'a {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .enumerate()
-            .flat_map(|(wi, (a, b))| {
-                let mut bits = a & b;
-                std::iter::from_fn(move || {
-                    if bits == 0 {
-                        return None;
-                    }
-                    let tz = bits.trailing_zeros();
-                    bits &= bits - 1;
-                    Some(wi as u32 * 64 + tz)
-                })
-            })
+        let (walk, probe) = if self.count() <= other.count() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        walk.ids().filter(move |id| probe.test(*id))
     }
 
     /// Iterates over all set ids, ascending.
-    pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, w)| {
-            let mut bits = *w;
-            std::iter::from_fn(move || {
-                if bits == 0 {
+    pub fn ids(&self) -> IdIter<'_> {
+        IdIter {
+            inner: match &self.repr {
+                Repr::Sparse(v) => IdIterInner::Sparse(v.iter()),
+                Repr::Dense(words) => IdIterInner::Dense {
+                    words,
+                    word_index: 0,
+                    bits: words.first().copied().unwrap_or(0),
+                },
+            },
+        }
+    }
+}
+
+/// Content equality, independent of representation.
+impl PartialEq for IdBitSet {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => a == b,
+            _ => self.count() == other.count() && self.ids().zip(other.ids()).all(|(a, b)| a == b),
+        }
+    }
+}
+
+impl Eq for IdBitSet {}
+
+/// Iterator over the set ids of an [`IdBitSet`], ascending.
+#[derive(Debug, Clone)]
+pub struct IdIter<'a> {
+    inner: IdIterInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum IdIterInner<'a> {
+    Sparse(std::slice::Iter<'a, u32>),
+    Dense {
+        words: &'a [u64],
+        word_index: usize,
+        bits: u64,
+    },
+}
+
+impl Iterator for IdIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match &mut self.inner {
+            IdIterInner::Sparse(it) => it.next().copied(),
+            IdIterInner::Dense {
+                words,
+                word_index,
+                bits,
+            } => loop {
+                if *bits != 0 {
+                    let tz = bits.trailing_zeros();
+                    *bits &= *bits - 1;
+                    return Some(*word_index as u32 * 64 + tz);
+                }
+                *word_index += 1;
+                if *word_index >= words.len() {
                     return None;
                 }
-                let tz = bits.trailing_zeros();
-                bits &= bits - 1;
-                Some(wi as u32 * 64 + tz)
-            })
-        })
+                *bits = words[*word_index];
+            },
+        }
     }
 }
 
@@ -184,5 +417,89 @@ mod tests {
         u.union_with(&big);
         assert_eq!(u.count(), 2);
         assert!(u.test(10_000));
+    }
+
+    #[test]
+    fn promotion_happens_at_the_memory_crossover() {
+        // Widely spread ids: the posting list stays smaller than the dense
+        // form and the set must remain sparse.
+        let mut spread = IdBitSet::new();
+        for i in 0..100u32 {
+            spread.set(i * 10_000);
+        }
+        assert!(!spread.is_dense());
+        assert_eq!(spread.count(), 100);
+
+        // Tightly packed ids: once 32 × len exceeds max_id + 1 the dense form
+        // is smaller, so the set promotes itself.
+        let mut packed = IdBitSet::new();
+        for i in 0..100u32 {
+            packed.set(i);
+        }
+        assert!(packed.is_dense());
+        assert_eq!(packed.count(), 100);
+        assert_eq!(
+            packed.ids().collect::<Vec<_>>(),
+            (0..100).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let mut sparse = IdBitSet::new();
+        let mut dense = IdBitSet::with_capacity(100_000);
+        for id in [7u32, 80_000, 99_999] {
+            sparse.set(id);
+            dense.set(id);
+        }
+        assert!(!sparse.is_dense());
+        assert!(dense.is_dense());
+        assert_eq!(sparse, dense);
+        assert_eq!(dense, sparse);
+        dense.clear(7);
+        assert_ne!(sparse, dense);
+        // Empty sets are equal regardless of representation.
+        assert_eq!(IdBitSet::new(), IdBitSet::with_capacity(1_000));
+    }
+
+    #[test]
+    fn mixed_representation_unions_and_intersections() {
+        let mut sparse = IdBitSet::new();
+        for id in [5u32, 70, 100_000] {
+            sparse.set(id);
+        }
+        let mut dense = IdBitSet::with_capacity(128);
+        for id in [5u32, 64, 70] {
+            dense.set(id);
+        }
+        assert_eq!(sparse.intersection_count(&dense), 2);
+        assert_eq!(dense.intersection_count(&sparse), 2);
+        assert_eq!(
+            sparse.intersection_ids(&dense).collect::<Vec<_>>(),
+            vec![5, 70]
+        );
+
+        // Sparse ∪ dense promotes, dense ∪ sparse stays dense.
+        let mut u1 = sparse.clone();
+        u1.union_with(&dense);
+        assert!(u1.is_dense());
+        assert_eq!(u1.ids().collect::<Vec<_>>(), vec![5, 64, 70, 100_000]);
+        let mut u2 = dense.clone();
+        u2.union_with(&sparse);
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    fn sparse_sets_use_less_memory_than_dense_at_low_density() {
+        // One prefix-per-link posting at 1M-id scale: a dense bitset would
+        // burn 125 KB; the posting list stays at a few hundred bytes.
+        let mut s = IdBitSet::new();
+        for i in 0..50u32 {
+            s.set(900_000 + i * 100);
+        }
+        assert!(!s.is_dense());
+        assert!(s.heap_bytes() < 1_024, "got {} bytes", s.heap_bytes());
+        let dense_cost = (950_000usize).div_ceil(64) * 8;
+        assert!(s.heap_bytes() * 100 < dense_cost);
     }
 }

@@ -215,8 +215,24 @@ impl InferenceEngine {
     /// Forces an inference with the current counters, bypassing burst
     /// detection and the history model (used to evaluate "end of burst"
     /// accuracy, Theorem 4.1).
-    pub fn force_infer(&self, time: Timestamp) -> InferenceResult {
-        let links = infer_links(&self.counters, &self.config);
+    ///
+    /// Inside a burst the candidate ranking comes from the incrementally
+    /// maintained [`LinkRanker`] — the same hot path the triggering attempts
+    /// use, so a forced attempt costs `O(burst candidates)` instead of a walk
+    /// over every link the session has ever seen. Outside a burst (where the
+    /// ranker is reset and the counters may still carry a closed burst's
+    /// state) it falls back to the from-scratch
+    /// [`rank_links`](crate::inference::fit_score::rank_links) reference
+    /// baseline; both paths return identical results.
+    pub fn force_infer(&mut self, time: Timestamp) -> InferenceResult {
+        let links = if self.detector.in_burst() {
+            let dirty = self.counters.take_dirty();
+            self.ranker.update(dirty, &self.counters);
+            let ranking = self.ranker.ranking(&self.counters, &self.config);
+            infer_links_ranked(&self.counters, &ranking, &self.config)
+        } else {
+            infer_links(&self.counters, &self.config)
+        };
         let prediction = predict(&self.counters, &links);
         InferenceResult {
             time,
@@ -433,6 +449,55 @@ mod tests {
         assert!((res.links.score.fs - 1.0).abs() < 1e-9);
         assert_eq!(res.prediction.already_withdrawn.len(), 500);
         assert_eq!(res.prediction.predicted.len(), 0);
+    }
+
+    /// `force_infer` must return exactly what the from-scratch reference
+    /// (`infer_links` + `predict`) would, whether the ranker hot path (inside
+    /// a burst) or the fallback (outside) serves the ranking — checked at
+    /// several points of the burst lifecycle.
+    #[test]
+    fn force_infer_matches_reference_across_burst_lifecycle() {
+        use crate::inference::aggregate::infer_links;
+        use crate::inference::predictor::predict;
+        let table = rib(700);
+        let mut engine = InferenceEngine::new(small_config(), table.iter().map(|(a, b)| (a, b)));
+        let check = |engine: &mut InferenceEngine, label: &str| {
+            let reference_links = infer_links(engine.counters(), engine.config());
+            let reference = predict(engine.counters(), &reference_links);
+            let forced = engine.force_infer(42);
+            assert_eq!(forced.links, reference_links, "{label}: links");
+            assert_eq!(
+                forced.prediction.predicted, reference.predicted,
+                "{label}: predicted"
+            );
+            assert_eq!(
+                forced.prediction.already_withdrawn, reference.already_withdrawn,
+                "{label}: withdrawn"
+            );
+        };
+        check(&mut engine, "fresh engine");
+        // A few pre-burst withdrawals (idle state: fallback path).
+        for i in 0..10u32 {
+            engine.process(&ElementaryEvent::Withdraw {
+                timestamp: u64::from(i) * 60 * SECOND,
+                prefix: p(i),
+            });
+        }
+        assert!(!engine.in_burst());
+        check(&mut engine, "idle with stale withdrawals");
+        // Mid-burst (ranker hot path), probed between triggering attempts.
+        let burst_start = 3_600 * SECOND;
+        for i in 0..350u32 {
+            engine.process(&ElementaryEvent::Withdraw {
+                timestamp: burst_start + u64::from(i) * 10_000,
+                prefix: p(i),
+            });
+            if i % 90 == 0 {
+                check(&mut engine, "mid-burst");
+            }
+        }
+        assert!(engine.in_burst());
+        check(&mut engine, "end of stream");
     }
 
     #[test]

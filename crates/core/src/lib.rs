@@ -11,6 +11,9 @@
 //!   history model and the prefix prediction (§4);
 //! * [`encoding`] — tag layout, per-position bit allocation, backup next-hop
 //!   computation, rerouting policies and the two-stage forwarding table (§5);
+//! * [`pipeline`] — the reroute pipeline split into its per-session half
+//!   ([`SessionEngine`]) and its serialized half ([`Applier`]), shared by the
+//!   inline router below and the sharded `swift-runtime`;
 //! * [`router`] — [`SwiftRouter`], the integration of both halves on a border
 //!   router (§3);
 //! * [`metrics`] — the TPR/FPR/CPR machinery used by the evaluation (§6);
@@ -37,10 +40,12 @@ pub mod config;
 pub mod encoding;
 pub mod inference;
 pub mod metrics;
+pub mod pipeline;
 pub mod router;
 
 pub use config::{EncodingConfig, InferenceConfig, SwiftConfig};
 pub use encoding::{EncodingPlan, ReroutingPolicy, TwoStageTable};
 pub use inference::{InferenceEngine, InferenceResult, InferredLinks, Prediction};
-pub use metrics::{Classification, Quadrant};
+pub use metrics::{Classification, LatencyRecorder, LatencySummary, Quadrant};
+pub use pipeline::{session_engines, Applier, SessionEngine};
 pub use router::{RerouteAction, SwiftRouter};

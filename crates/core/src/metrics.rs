@@ -4,6 +4,9 @@
 //!   built from predicted and actually-affected prefix sets (§6.2.1, §6.3).
 //! * [`Quadrant`] — the Fig. 6 quadrant of a (TPR, FPR) point.
 //! * [`percentile`] — nearest-rank percentiles for the Table 2 summaries.
+//! * [`LatencyRecorder`] / [`LatencySummary`] — a bounded ring-buffer sample
+//!   recorder with p50/p99 summaries, used by the sharded runtime to track
+//!   per-event and reroute latencies against the paper's ~2 s budget (§3).
 
 use swift_bgp::PrefixSet;
 
@@ -125,6 +128,111 @@ pub fn percentile_usize(values: &[usize], q: f64) -> Option<usize> {
     Some(sorted[rank.min(sorted.len() - 1)])
 }
 
+/// A bounded sample recorder for latency-like quantities (microseconds,
+/// nanoseconds — unit is the caller's).
+///
+/// Keeps at most `capacity` samples in a ring: once full, new samples
+/// overwrite the oldest, so long runs summarize their recent behaviour with
+/// constant memory and no allocation on the record path. Deterministic (no
+/// randomized reservoir), so identical runs produce identical summaries.
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    next: usize,
+    recorded: u64,
+    max: u64,
+    sum: u64,
+    capacity: usize,
+}
+
+impl LatencyRecorder {
+    /// Creates a recorder keeping at most `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LatencyRecorder {
+            samples: Vec::with_capacity(capacity.min(4_096)),
+            next: 0,
+            recorded: 0,
+            max: 0,
+            sum: 0,
+            capacity,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.recorded += 1;
+        self.max = self.max.max(value);
+        self.sum += value;
+        if self.samples.len() < self.capacity {
+            self.samples.push(value);
+        } else {
+            self.samples[self.next] = value;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Total number of samples ever recorded (not just the retained window).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Merges another recorder's retained samples and lifetime aggregates
+    /// into this one (used to combine per-shard recorders into one report).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.recorded += other.recorded;
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        for &v in &other.samples {
+            if self.samples.len() < self.capacity {
+                self.samples.push(v);
+            } else {
+                self.samples[self.next] = v;
+                self.next = (self.next + 1) % self.capacity;
+            }
+        }
+    }
+
+    /// Summarizes the recorder: percentiles over the retained window,
+    /// mean/max over the whole lifetime.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.recorded,
+            p50: percentile_usize(
+                &self.samples.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+                0.5,
+            )
+            .unwrap_or(0) as u64,
+            p99: percentile_usize(
+                &self.samples.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+                0.99,
+            )
+            .unwrap_or(0) as u64,
+            max: self.max,
+            mean: if self.recorded == 0 {
+                0.0
+            } else {
+                self.sum as f64 / self.recorded as f64
+            },
+        }
+    }
+}
+
+/// Summary statistics produced by [`LatencyRecorder::summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Samples recorded over the recorder's lifetime.
+    pub count: u64,
+    /// Median of the retained window.
+    pub p50: u64,
+    /// 99th percentile of the retained window.
+    pub p99: u64,
+    /// Lifetime maximum.
+    pub max: u64,
+    /// Lifetime mean.
+    pub mean: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +282,45 @@ mod tests {
             tn: 100,
         };
         assert_eq!(perfect.quadrant(), Quadrant::Good);
+    }
+
+    #[test]
+    fn latency_recorder_summarizes_and_merges() {
+        let mut r = LatencyRecorder::new(1_000);
+        for v in 1..=100u64 {
+            r.record(v);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+
+        // The ring keeps only the newest samples but the lifetime aggregates
+        // keep counting.
+        let mut small = LatencyRecorder::new(4);
+        for v in [1u64, 2, 3, 4, 1_000, 1_000, 1_000, 1_000] {
+            small.record(v);
+        }
+        let ss = small.summary();
+        assert_eq!(ss.count, 8);
+        assert_eq!(ss.p50, 1_000, "old samples were overwritten");
+        assert_eq!(ss.max, 1_000);
+
+        // Merging folds both windows and lifetimes together.
+        let mut merged = LatencyRecorder::new(2_000);
+        merged.merge(&r);
+        merged.merge(&small);
+        let ms = merged.summary();
+        assert_eq!(ms.count, 108);
+        assert_eq!(ms.max, 1_000);
+
+        // Empty recorder is well-defined.
+        let empty = LatencyRecorder::new(16).summary();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p50, 0);
+        assert_eq!(empty.mean, 0.0);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! The two halves of the SWIFT reroute pipeline, split out of the monolithic
+//! router so that single-threaded and sharded deployments share one code path.
+//!
+//! * [`SessionEngine`] — one BGP session's inference state: a [`PeerId`] plus
+//!   its [`InferenceEngine`]. Per-session state is self-contained, which is
+//!   exactly what makes session sharding sound: a session's engine can live on
+//!   any worker thread as long as that session's events reach it in order.
+//! * [`Applier`] — everything that must stay serialized: the router-wide
+//!   [`RoutingTable`], the [`TwoStageTable`] rule installs, the reroute action
+//!   log and the reconvergence resync.
+//!
+//! [`crate::router::SwiftRouter`] composes the two inline (one event at a
+//! time, on the calling thread); the `swift-runtime` crate drives many
+//! [`SessionEngine`]s concurrently on worker shards and funnels their accepted
+//! inferences into one [`Applier`] thread. Both observe identical per-session
+//! behaviour because all decision-making lives in these two types.
+//!
+//! # Deferred RIB maintenance
+//!
+//! Keeping the Adj-RIB-In mirrors in sync is bookkeeping for the *slow* path
+//! (the post-convergence resync); it is explicitly not needed to decide or
+//! install a reroute (§3: SWIFT exists because per-event FIB maintenance
+//! cannot keep up during a burst). The applier therefore supports two modes:
+//! **eager** (every event applied to the routing table immediately — the
+//! legacy `SwiftRouter` behaviour, convenient for tests and interactive
+//! inspection) and **deferred** (events buffered and folded into the table
+//! only when a resync or an explicit [`Applier::sync_rib`] needs it — the
+//! runtime's mode, keeping the applier thread off the hot path).
+
+use crate::config::SwiftConfig;
+use crate::encoding::{RerouteId, ReroutingPolicy, TwoStageTable};
+use crate::inference::{EngineStatus, InferenceEngine, InferenceResult};
+use crate::router::RerouteAction;
+use std::collections::BTreeMap;
+use swift_bgp::{AsLink, ElementaryEvent, InternedRib, PeerId, Prefix, PrefixSet, RoutingTable};
+
+/// One BGP session's inference half: the per-session state a worker shard
+/// owns.
+#[derive(Debug, Clone)]
+pub struct SessionEngine {
+    peer: PeerId,
+    engine: InferenceEngine,
+}
+
+impl SessionEngine {
+    /// Builds the engine for `peer`, seeded from an interned RIB.
+    pub fn from_interned(peer: PeerId, config: &SwiftConfig, rib: &InternedRib) -> Self {
+        SessionEngine {
+            peer,
+            engine: InferenceEngine::from_interned(config.inference.clone(), rib),
+        }
+    }
+
+    /// The session this engine serves.
+    pub fn peer(&self) -> PeerId {
+        self.peer
+    }
+
+    /// The underlying inference engine.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// Processes one of this session's per-prefix events.
+    pub fn process(&mut self, event: &ElementaryEvent) -> (EngineStatus, Option<InferenceResult>) {
+        self.engine.process(event)
+    }
+}
+
+/// Builds one [`SessionEngine`] per peering session of `table`, seeding each
+/// from the session's interned Adj-RIB-In (paths shared, no per-prefix
+/// clones). The single shared seeding path of `SwiftRouter` and the sharded
+/// runtime.
+pub fn session_engines(
+    config: &SwiftConfig,
+    table: &RoutingTable,
+) -> BTreeMap<PeerId, SessionEngine> {
+    let mut engines = BTreeMap::new();
+    for (peer, _) in table.peers() {
+        let rib = table.adj_rib_in(peer).expect("peer just listed");
+        let mut interned = InternedRib::new();
+        for (p, r) in rib.iter() {
+            interned.push(*p, &r.attrs.as_path);
+        }
+        engines.insert(peer, SessionEngine::from_interned(peer, config, &interned));
+    }
+    engines
+}
+
+/// The serialized half of the pipeline: routing state, forwarding-table rule
+/// installs and the reconvergence resync.
+#[derive(Debug, Clone)]
+pub struct Applier {
+    config: SwiftConfig,
+    policy: ReroutingPolicy,
+    table: RoutingTable,
+    forwarding: TwoStageTable,
+    actions: Vec<RerouteAction>,
+    /// Prefixes whose routes changed since the last resync — the set the
+    /// incremental stage-1 refresh retags.
+    dirty: PrefixSet,
+    /// Reroutes installed and not yet resynced away.
+    outstanding: Vec<RerouteId>,
+    /// Events not yet folded into `table` (deferred mode only).
+    pending: Vec<(PeerId, ElementaryEvent)>,
+    deferred_rib: bool,
+}
+
+impl Applier {
+    /// Builds an applier with **eager** RIB maintenance (every event applied
+    /// to the routing table as it arrives).
+    pub fn new(config: SwiftConfig, table: RoutingTable, policy: ReroutingPolicy) -> Self {
+        let forwarding = TwoStageTable::build(&table, &config.encoding, &policy);
+        Applier {
+            config,
+            policy,
+            table,
+            forwarding,
+            actions: Vec::new(),
+            dirty: PrefixSet::new(),
+            outstanding: Vec::new(),
+            pending: Vec::new(),
+            deferred_rib: false,
+        }
+    }
+
+    /// Switches the applier to **deferred** RIB maintenance: events are
+    /// buffered and folded into the routing table only when a resync (or an
+    /// explicit [`Applier::sync_rib`]) needs the table — the mode the sharded
+    /// runtime's applier thread runs in, keeping per-event work off its queue.
+    pub fn with_deferred_rib(mut self) -> Self {
+        self.deferred_rib = true;
+        self
+    }
+
+    /// The applier's configuration.
+    pub fn config(&self) -> &SwiftConfig {
+        &self.config
+    }
+
+    /// The rerouting policy in force.
+    pub fn policy(&self) -> &ReroutingPolicy {
+        &self.policy
+    }
+
+    /// The routing table. In deferred mode this reflects only the events
+    /// already folded in by [`Applier::sync_rib`] or a resync.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// The two-stage forwarding table.
+    pub fn forwarding(&self) -> &TwoStageTable {
+        &self.forwarding
+    }
+
+    /// Every reroute action taken so far.
+    pub fn actions(&self) -> &[RerouteAction] {
+        &self.actions
+    }
+
+    /// Number of events buffered and not yet folded into the routing table.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Records one per-prefix event: applied to the routing table immediately
+    /// (eager mode) or buffered for the next [`Applier::sync_rib`] (deferred
+    /// mode). Either way the prefix joins the dirty set the next resync
+    /// retags.
+    pub fn note_event(&mut self, peer: PeerId, event: &ElementaryEvent) {
+        if self.deferred_rib {
+            self.pending.push((peer, event.clone()));
+        } else {
+            self.dirty.insert(event.prefix());
+            self.table.apply(peer, event);
+        }
+    }
+
+    /// [`Applier::note_event`] taking the event by value — lets deferred-mode
+    /// callers (the runtime's applier thread, which owns the events it pulled
+    /// off its queue) buffer without a clone.
+    pub fn note_event_owned(&mut self, peer: PeerId, event: ElementaryEvent) {
+        if self.deferred_rib {
+            self.pending.push((peer, event));
+        } else {
+            self.dirty.insert(event.prefix());
+            self.table.apply(peer, &event);
+        }
+    }
+
+    /// Folds every buffered event into the routing table (no-op in eager
+    /// mode). Returns the number of events applied.
+    pub fn sync_rib(&mut self) -> usize {
+        let applied = self.pending.len();
+        for (peer, event) in std::mem::take(&mut self.pending) {
+            self.dirty.insert(event.prefix());
+            self.table.apply(peer, &event);
+        }
+        applied
+    }
+
+    /// Installs the reroute rules for an accepted inference and logs the
+    /// action.
+    pub fn apply_inference(&mut self, peer: PeerId, result: &InferenceResult) -> RerouteAction {
+        let (id, rules_installed) = self.forwarding.install_reroute_tracked(&result.links.links);
+        self.outstanding.push(id);
+        let action = RerouteAction {
+            session: peer,
+            time: result.time,
+            links: result.links.links.clone(),
+            predicted: result.prediction.predicted.clone(),
+            rules_installed,
+        };
+        self.actions.push(action.clone());
+        action
+    }
+
+    /// The next-hop currently used to forward traffic for `prefix`.
+    pub fn forwarding_next_hop(&self, prefix: &Prefix) -> Option<PeerId> {
+        self.forwarding.lookup(prefix)
+    }
+
+    /// Called once BGP has fully reconverged: removes the stage-2 rules of
+    /// every outstanding reroute and retags the prefixes whose routes changed
+    /// during the outage — the incremental form of the old full rebuild (the
+    /// encoding plan and tag layout, precomputed offline per §5, are reused).
+    /// Returns the number of SWIFT rules removed.
+    pub fn resync_after_convergence(&mut self) -> usize {
+        self.sync_rib();
+        let mut removed = 0;
+        for id in std::mem::take(&mut self.outstanding) {
+            removed += self.forwarding.remove_reroute(id);
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        self.forwarding
+            .refresh_prefixes(&self.table, &self.policy, dirty.iter().copied());
+        removed
+    }
+
+    /// Reference resync: tears down SWIFT state by rebuilding the forwarding
+    /// table from scratch (the pre-incremental behaviour). Kept as the
+    /// baseline the incremental resync is tested against.
+    pub fn resync_with_rebuild(&mut self) -> usize {
+        self.sync_rib();
+        let removed = self.forwarding.clear_swift_rules();
+        self.forwarding = TwoStageTable::build(&self.table, &self.config.encoding, &self.policy);
+        self.outstanding.clear();
+        self.dirty = PrefixSet::new();
+        removed
+    }
+
+    /// Safety check (Lemma 3.3): returns the prefixes among `predicted` whose
+    /// *current* forwarding next-hop still offers a path crossing one of the
+    /// inferred links — ideally none after a reroute.
+    pub fn unsafe_reroutes(&self, predicted: &PrefixSet, links: &[AsLink]) -> PrefixSet {
+        predicted
+            .iter()
+            .filter(|prefix| {
+                let Some(nh) = self.forwarding_next_hop(prefix) else {
+                    return false;
+                };
+                let Some(rib) = self.table.adj_rib_in(nh) else {
+                    return false;
+                };
+                match rib.get(prefix) {
+                    Some(route) => links
+                        .iter()
+                        .any(|l| route.as_path().crosses_link_undirected(l)),
+                    None => false,
+                }
+            })
+            .copied()
+            .collect()
+    }
+}

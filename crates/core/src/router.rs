@@ -8,15 +8,21 @@
 //! 3. when an inference is accepted, the router installs the handful of
 //!    stage-2 reroute rules returned by the encoding scheme — restoring
 //!    connectivity for all predicted prefixes at once;
-//! 4. once BGP has reconverged the SWIFT rules are removed.
+//! 4. once BGP has reconverged the SWIFT rules are removed and the stage-1
+//!    tags of the prefixes whose routes changed are refreshed in place.
+//!
+//! The router is a thin inline composition of the two pipeline halves in
+//! [`crate::pipeline`]: a [`SessionEngine`] per session and one [`Applier`].
+//! The sharded `swift-runtime` drives the *same* two types across threads, so
+//! the single-threaded router doubles as the executable specification of the
+//! concurrent runtime's per-session behaviour.
 
 use crate::config::SwiftConfig;
 use crate::encoding::{ReroutingPolicy, TwoStageTable};
-use crate::inference::{EngineStatus, InferenceEngine, InferenceResult};
+use crate::inference::{EngineStatus, InferenceEngine};
+use crate::pipeline::{session_engines, Applier, SessionEngine};
 use std::collections::BTreeMap;
-use swift_bgp::{
-    AsLink, ElementaryEvent, InternedRib, PeerId, Prefix, PrefixSet, RoutingTable, Timestamp,
-};
+use swift_bgp::{AsLink, ElementaryEvent, PeerId, Prefix, PrefixSet, RoutingTable, Timestamp};
 
 /// What the router did in response to an accepted inference.
 #[derive(Debug, Clone)]
@@ -36,64 +42,47 @@ pub struct RerouteAction {
 /// A border router with SWIFT deployed.
 #[derive(Debug, Clone)]
 pub struct SwiftRouter {
-    config: SwiftConfig,
-    policy: ReroutingPolicy,
-    table: RoutingTable,
-    engines: BTreeMap<PeerId, InferenceEngine>,
-    forwarding: TwoStageTable,
-    actions: Vec<RerouteAction>,
+    engines: BTreeMap<PeerId, SessionEngine>,
+    applier: Applier,
 }
 
 impl SwiftRouter {
     /// Builds a SWIFTED router from its current routing state.
     pub fn new(config: SwiftConfig, table: RoutingTable, policy: ReroutingPolicy) -> Self {
-        let mut engines = BTreeMap::new();
-        for (peer, _) in table.peers() {
-            let rib = table.adj_rib_in(peer).expect("peer just listed");
-            // Intern the session's paths once: every prefix sharing a
-            // provider chain shares one stored path, and the engine seeds
-            // from the interned form without further clones.
-            let mut interned = InternedRib::new();
-            for (p, r) in rib.iter() {
-                interned.push(*p, &r.attrs.as_path);
-            }
-            let engine = InferenceEngine::from_interned(config.inference.clone(), &interned);
-            engines.insert(peer, engine);
-        }
-        let forwarding = TwoStageTable::build(&table, &config.encoding, &policy);
-        SwiftRouter {
-            config,
-            policy,
-            table,
-            engines,
-            forwarding,
-            actions: Vec::new(),
-        }
+        let engines = session_engines(&config, &table);
+        let applier = Applier::new(config, table, policy);
+        SwiftRouter { engines, applier }
     }
 
     /// The router's configuration.
     pub fn config(&self) -> &SwiftConfig {
-        &self.config
+        self.applier.config()
     }
 
     /// The current routing table.
     pub fn routing_table(&self) -> &RoutingTable {
-        &self.table
+        self.applier.table()
     }
 
     /// The two-stage forwarding table.
     pub fn forwarding(&self) -> &TwoStageTable {
-        &self.forwarding
+        self.applier.forwarding()
+    }
+
+    /// The serialized half of the pipeline (routing state, rule installs,
+    /// action log).
+    pub fn applier(&self) -> &Applier {
+        &self.applier
     }
 
     /// The per-session inference engine for `peer`, if the session exists.
     pub fn engine(&self, peer: PeerId) -> Option<&InferenceEngine> {
-        self.engines.get(&peer)
+        self.engines.get(&peer).map(|s| s.engine())
     }
 
     /// Every reroute action taken so far.
     pub fn actions(&self) -> &[RerouteAction] {
-        &self.actions
+        self.applier.actions()
     }
 
     /// Processes one per-prefix event received on the session with `peer`.
@@ -106,10 +95,12 @@ impl SwiftRouter {
         // Keep the routing table in sync (the FIB rebuild that BGP would do is
         // intentionally *not* performed per event — that is the slow path SWIFT
         // works around; see `resync_after_convergence`).
-        self.table.apply(peer, event);
+        self.applier.note_event(peer, event);
         let engine = self.engines.get_mut(&peer)?;
         match engine.process(event) {
-            (EngineStatus::Accepted, Some(result)) => Some(self.apply_inference(peer, &result)),
+            (EngineStatus::Accepted, Some(result)) => {
+                Some(self.applier.apply_inference(peer, &result))
+            }
             _ => None,
         }
     }
@@ -125,56 +116,31 @@ impl SwiftRouter {
             .collect()
     }
 
-    /// Installs the reroute rules for an accepted inference.
-    fn apply_inference(&mut self, peer: PeerId, result: &InferenceResult) -> RerouteAction {
-        let rules_installed = self.forwarding.install_reroute(&result.links.links);
-        let action = RerouteAction {
-            session: peer,
-            time: result.time,
-            links: result.links.links.clone(),
-            predicted: result.prediction.predicted.clone(),
-            rules_installed,
-        };
-        self.actions.push(action.clone());
-        action
-    }
-
     /// The next-hop currently used to forward traffic for `prefix`.
     pub fn forwarding_next_hop(&self, prefix: &Prefix) -> Option<PeerId> {
-        self.forwarding.lookup(prefix)
+        self.applier.forwarding_next_hop(prefix)
     }
 
-    /// Called once BGP has fully reconverged: removes the SWIFT rules and
-    /// rebuilds the tags and default rules from the (now up-to-date) routing
-    /// table. Returns the number of SWIFT rules removed.
+    /// Called once BGP has fully reconverged: removes the SWIFT rules of every
+    /// outstanding reroute and refreshes the tags of the prefixes whose routes
+    /// changed — incrementally, without rebuilding the forwarding table (see
+    /// [`Applier::resync_after_convergence`]). Returns the number of SWIFT
+    /// rules removed.
     pub fn resync_after_convergence(&mut self) -> usize {
-        let removed = self.forwarding.clear_swift_rules();
-        self.forwarding = TwoStageTable::build(&self.table, &self.config.encoding, &self.policy);
-        removed
+        self.applier.resync_after_convergence()
+    }
+
+    /// Reference resync: the pre-incremental full rebuild, kept as the
+    /// baseline `resync_after_convergence` is validated against.
+    pub fn resync_with_rebuild(&mut self) -> usize {
+        self.applier.resync_with_rebuild()
     }
 
     /// Safety check (Lemma 3.3): returns the prefixes among `predicted` whose
     /// *current* forwarding next-hop still offers a path crossing one of the
     /// inferred links — ideally none after a reroute.
     pub fn unsafe_reroutes(&self, predicted: &PrefixSet, links: &[AsLink]) -> PrefixSet {
-        predicted
-            .iter()
-            .filter(|prefix| {
-                let Some(nh) = self.forwarding_next_hop(prefix) else {
-                    return false;
-                };
-                let Some(rib) = self.table.adj_rib_in(nh) else {
-                    return false;
-                };
-                match rib.get(prefix) {
-                    Some(route) => links
-                        .iter()
-                        .any(|l| route.as_path().crosses_link_undirected(l)),
-                    None => false,
-                }
-            })
-            .copied()
-            .collect()
+        self.applier.unsafe_reroutes(predicted, links)
     }
 }
 
@@ -322,6 +288,82 @@ mod tests {
         assert_eq!(router.forwarding().swift_rule_count(), 0);
     }
 
+    /// The incremental resync must be indistinguishable from the full rebuild
+    /// when BGP converges back to the pre-outage routes (transient failure:
+    /// the withdrawn prefixes return with their original paths) — rule for
+    /// rule and tag for tag.
+    #[test]
+    fn incremental_resync_equals_rebuild_when_routes_restore() {
+        let table = fig1_table(100);
+        let mut router = SwiftRouter::new(config(), table, ReroutingPolicy::allow_all());
+        router.handle_stream(PeerId(2), fig1_burst(100).iter());
+        assert!(router.forwarding().swift_rule_count() > 0);
+
+        // BGP reconverges: the link comes back and peer 2 re-announces every
+        // withdrawn prefix with its original attributes.
+        let mut t = 10_000_000u64;
+        let reannounce: Vec<(u32, &[u32])> = (0..100)
+            .map(|i| (i, &[2u32, 5, 6][..]))
+            .chain((200..300).map(|i| (i, &[2u32, 5, 6, 8][..])))
+            .collect();
+        for (idx, path) in reannounce {
+            let mut attrs = RouteAttributes::from_path(AsPath::new(path.iter().copied()));
+            attrs.local_pref = Some(200);
+            router.handle_event(
+                PeerId(2),
+                &ElementaryEvent::Announce {
+                    timestamp: t,
+                    prefix: p(idx),
+                    attrs,
+                },
+            );
+            t += 1_000;
+        }
+
+        let mut incremental = router.clone();
+        let mut rebuilt = router;
+        let removed_inc = incremental.resync_after_convergence();
+        let removed_reb = rebuilt.resync_with_rebuild();
+        assert_eq!(removed_inc, removed_reb);
+        assert_eq!(incremental.forwarding().swift_rule_count(), 0);
+
+        let fi = incremental.forwarding();
+        let fr = rebuilt.forwarding();
+        assert_eq!(fi.stage1_len(), fr.stage1_len());
+        assert_eq!(fi.stage2_rules(), fr.stage2_rules());
+        for i in 0..300 {
+            assert_eq!(fi.tag_of(&p(i)), fr.tag_of(&p(i)), "tag of prefix {i}");
+            assert_eq!(fi.lookup(&p(i)), fr.lookup(&p(i)), "lookup of prefix {i}");
+        }
+    }
+
+    /// When convergence permanently moves routes (the withdrawn prefixes stay
+    /// gone from the primary session), the incremental resync reuses the
+    /// offline-precomputed encoding plan while the rebuild recomputes it —
+    /// tags may differ, but the *forwarding behaviour* must not.
+    #[test]
+    fn incremental_resync_matches_rebuild_forwarding_after_path_changes() {
+        let table = fig1_table(100);
+        let mut router = SwiftRouter::new(config(), table, ReroutingPolicy::allow_all());
+        router.handle_stream(PeerId(2), fig1_burst(100).iter());
+
+        let mut incremental = router.clone();
+        let mut rebuilt = router;
+        incremental.resync_after_convergence();
+        rebuilt.resync_with_rebuild();
+        assert_eq!(incremental.forwarding().swift_rule_count(), 0);
+        assert_eq!(rebuilt.forwarding().swift_rule_count(), 0);
+        for i in 0..300 {
+            assert_eq!(
+                incremental.forwarding_next_hop(&p(i)),
+                rebuilt.forwarding_next_hop(&p(i)),
+                "forwarding of prefix {i} diverged"
+            );
+        }
+        // The withdrawn prefixes now leave via the next-best session (peer 3).
+        assert_eq!(incremental.forwarding_next_hop(&p(0)), Some(PeerId(3)));
+    }
+
     #[test]
     fn uneventful_sessions_trigger_nothing() {
         let table = fig1_table(100);
@@ -359,5 +401,45 @@ mod tests {
         assert!(router.engine(PeerId(4)).is_some());
         assert!(router.engine(PeerId(9)).is_none());
         assert_eq!(router.forwarding().stage1_len(), 30);
+    }
+
+    /// The applier's deferred-RIB mode (used by the sharded runtime) must
+    /// produce the same routing table and resync outcome as the eager mode.
+    #[test]
+    fn deferred_applier_converges_to_the_eager_state() {
+        let cfg = config();
+        let table = fig1_table(50);
+        let mut eager = Applier::new(cfg.clone(), table.clone(), ReroutingPolicy::allow_all());
+        let mut deferred =
+            Applier::new(cfg, table, ReroutingPolicy::allow_all()).with_deferred_rib();
+        let events = fig1_burst(50);
+        for ev in &events {
+            eager.note_event(PeerId(2), ev);
+            deferred.note_event(PeerId(2), ev);
+        }
+        assert_eq!(deferred.pending_events(), events.len());
+        // Before the sync the deferred table still sees the pre-burst routes.
+        assert!(deferred.table().best(&p(0)).is_some());
+        assert_eq!(deferred.sync_rib(), events.len());
+        assert_eq!(deferred.pending_events(), 0);
+        assert_eq!(
+            eager.table().best(&p(0)).map(|r| r.peer),
+            deferred.table().best(&p(0)).map(|r| r.peer)
+        );
+        assert_eq!(
+            eager.table().prefix_count(),
+            deferred.table().prefix_count()
+        );
+        // Resyncs agree too (sync_rib is implicit in resync).
+        assert_eq!(
+            eager.resync_after_convergence(),
+            deferred.resync_after_convergence()
+        );
+        for i in 0..150 {
+            assert_eq!(
+                eager.forwarding_next_hop(&p(i)),
+                deferred.forwarding_next_hop(&p(i))
+            );
+        }
     }
 }

@@ -1,0 +1,818 @@
+//! # swift-runtime
+//!
+//! A sharded, multi-core runtime for the SWIFT reproduction: the full
+//! ingest → infer → reroute pipeline of a border router whose *dozens of
+//! peering sessions* stream updates concurrently, under the paper's ~2 s
+//! reroute budget (§3).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                      ┌───────────────┐
+//!   ingest ───hash──▶  │ shard worker 0 │──┐
+//!   (peer, event)      │  SessionEngine │  │   accepted inferences
+//!                      │  per session   │  │   + every event
+//!                      ├───────────────┤  ▼
+//!                      │ shard worker 1 │─▶ ┌─────────────────┐
+//!                      ├───────────────┤    │  applier thread  │
+//!                      │      ...       │─▶ │  RoutingTable     │
+//!                      └───────────────┘    │  TwoStageTable    │
+//!                        bounded mpsc       │  rule installs +  │
+//!                        (backpressure)     │  resyncs, serial  │
+//!                                           └─────────────────┘
+//! ```
+//!
+//! * **Sessions are sharded, not events**: every peer is hashed onto one of N
+//!   worker shards, so one session's events are always processed in order by
+//!   one [`SessionEngine`](swift_core::pipeline::SessionEngine) — the
+//!   per-session verdict stream is identical to the single-threaded
+//!   [`SwiftRouter`](swift_core::SwiftRouter)'s, regardless of shard count.
+//! * **One applier** serializes everything that must be serial: the
+//!   [`TwoStageTable`](swift_core::TwoStageTable) rule installs of accepted
+//!   inferences (in arrival order) and the reconvergence resyncs. Routing-RIB
+//!   bookkeeping is deferred (see
+//!   [`Applier::with_deferred_rib`](swift_core::pipeline::Applier)) so the
+//!   applier stays off the per-event hot path.
+//! * **Bounded queues everywhere**: a full shard queue blocks the ingest (or
+//!   sheds the batch under [`BackpressurePolicy::DropNewest`], counted per
+//!   shard); a full applier queue blocks the shards.
+//! * **Deterministic mode** ([`RuntimeConfig::deterministic`]): zero shards,
+//!   no threads — the same pipeline types driven inline on the caller's
+//!   thread, bit-identical to `SwiftRouter`.
+//!
+//! ## Example
+//!
+//! ```
+//! use swift_bgp::RoutingTable;
+//! use swift_core::{encoding::ReroutingPolicy, SwiftConfig};
+//! use swift_runtime::{RuntimeConfig, ShardedRuntime};
+//!
+//! let runtime = ShardedRuntime::new(
+//!     RuntimeConfig::sharded(2),
+//!     SwiftConfig::default(),
+//!     RoutingTable::new(),
+//!     ReroutingPolicy::allow_all(),
+//! );
+//! let report = runtime.finish();
+//! assert_eq!(report.actions.len(), 0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod worker;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use swift_bgp::{ElementaryEvent, PeerId, RoutingTable};
+use swift_core::encoding::ReroutingPolicy;
+use swift_core::inference::EngineStatus;
+use swift_core::metrics::{LatencyRecorder, LatencySummary};
+use swift_core::pipeline::{session_engines, Applier, SessionEngine};
+use swift_core::{RerouteAction, SwiftConfig};
+use worker::{ApplierMsg, IngestEvent, ShardMsg};
+
+/// What to do when a shard's ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the ingest thread until the shard drains (lossless; the
+    /// default). This is the only policy under which the sharded runtime's
+    /// per-session decisions provably equal the single-threaded router's.
+    #[default]
+    Block,
+    /// Drop the overflowing batch and count it ([`ShardMetrics::dropped`]) —
+    /// load-shedding for overload experiments; inference quality degrades
+    /// gracefully (missed withdrawals lower WS/PS precision) but the runtime
+    /// never stalls the ingest.
+    DropNewest,
+}
+
+/// Configuration of the sharded runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Number of worker shards. `0` runs the deterministic inline mode: no
+    /// threads, events processed synchronously on the caller's thread.
+    pub shards: usize,
+    /// Events per batch handed to a shard (amortizes channel overhead).
+    pub batch_size: usize,
+    /// Bounded depth of each shard's ingest queue, in batches.
+    pub queue_capacity: usize,
+    /// Bounded depth of the applier's queue, in batches.
+    pub applier_capacity: usize,
+    /// Behaviour when a shard queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// Retained samples per latency recorder (ring buffer).
+    pub latency_window: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::deterministic()
+    }
+}
+
+impl RuntimeConfig {
+    /// The deterministic single-thread mode: the whole pipeline runs inline,
+    /// bit-identical to [`swift_core::SwiftRouter`].
+    pub fn deterministic() -> Self {
+        RuntimeConfig {
+            shards: 0,
+            batch_size: 256,
+            queue_capacity: 64,
+            applier_capacity: 256,
+            backpressure: BackpressurePolicy::Block,
+            latency_window: 16_384,
+        }
+    }
+
+    /// A sharded runtime with `shards` worker threads (plus the applier).
+    pub fn sharded(shards: usize) -> Self {
+        RuntimeConfig {
+            shards,
+            ..RuntimeConfig::deterministic()
+        }
+    }
+}
+
+/// Per-shard counters reported by [`RuntimeReport::metrics`].
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Sessions hashed onto this shard.
+    pub sessions: usize,
+    /// Events processed.
+    pub events: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Events dropped at ingest under [`BackpressurePolicy::DropNewest`].
+    pub dropped: u64,
+    /// High-water mark of the shard's ingest queue, in batches.
+    pub max_queue_depth: usize,
+    /// Ingest → engine-processed latency summary (µs).
+    pub event_latency: LatencySummary,
+    /// Events per second over the shard's busy span.
+    pub events_per_sec: f64,
+}
+
+/// Aggregate runtime metrics.
+#[derive(Debug, Clone)]
+pub struct RuntimeMetrics {
+    /// Worker shards used (`0` = deterministic inline mode).
+    pub shards: usize,
+    /// Events ingested (including any later dropped under
+    /// [`BackpressurePolicy::DropNewest`]; `events - dropped` were
+    /// processed).
+    pub events: u64,
+    /// Events dropped across all shards.
+    pub dropped: u64,
+    /// First ingest → pipeline drained.
+    pub wall: Duration,
+    /// Processed (non-dropped) events per second of wall time.
+    pub events_per_sec: f64,
+    /// Per-shard breakdown (empty in deterministic mode).
+    pub per_shard: Vec<ShardMetrics>,
+    /// Ingest → engine-processed latency across all shards (µs).
+    pub event_latency: LatencySummary,
+    /// Ingest → reroute-rules-installed latency (µs), one sample per accepted
+    /// inference — the quantity the paper's ~2 s budget constrains.
+    pub reroute_latency: LatencySummary,
+}
+
+/// The runtime's final state, returned by [`ShardedRuntime::finish`].
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Every reroute action, in the order the applier installed them.
+    /// Per-session subsequences are deterministic; the global interleaving is
+    /// scheduling-dependent (use [`RuntimeReport::actions_for`] to compare
+    /// across runs or against the single-threaded router).
+    pub actions: Vec<RerouteAction>,
+    /// Metrics collected while the runtime ran.
+    pub metrics: RuntimeMetrics,
+    applier: Applier,
+}
+
+impl RuntimeReport {
+    /// The serialized pipeline half (routing table, forwarding table) in its
+    /// final state.
+    pub fn applier(&self) -> &Applier {
+        &self.applier
+    }
+
+    /// The reroute actions of one session, in acceptance order.
+    pub fn actions_for(&self, peer: PeerId) -> Vec<&RerouteAction> {
+        self.actions.iter().filter(|a| a.session == peer).collect()
+    }
+}
+
+/// The state behind a running sharded instance.
+struct Sharded {
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    shard_handles: Vec<JoinHandle<worker::ShardWorkerReport>>,
+    applier_tx: SyncSender<ApplierMsg>,
+    applier_handle: JoinHandle<worker::ApplierReport>,
+    barrier_rx: Receiver<u64>,
+    next_barrier: u64,
+    /// Per-shard batch buffers not yet sent.
+    buffers: Vec<Vec<IngestEvent>>,
+    /// Per-shard in-flight batch counters (shared with the workers).
+    depth: Vec<Arc<AtomicUsize>>,
+    max_depth: Vec<usize>,
+    dropped: Vec<u64>,
+}
+
+/// The state behind a deterministic inline instance.
+struct Inline {
+    engines: BTreeMap<PeerId, SessionEngine>,
+    applier: Applier,
+}
+
+enum Mode {
+    Inline(Box<Inline>),
+    Sharded(Box<Sharded>),
+}
+
+/// The sharded multi-session runtime: owns the ingest → infer → reroute
+/// pipeline for every peering session of one SWIFTED router.
+///
+/// Construct with [`ShardedRuntime::new`], feed events with
+/// [`ShardedRuntime::ingest`] / [`ShardedRuntime::ingest_stream`], and
+/// retrieve the final state with [`ShardedRuntime::finish`]. Dropping the
+/// runtime without calling `finish` shuts the threads down cleanly but
+/// discards the report.
+pub struct ShardedRuntime {
+    config: RuntimeConfig,
+    mode: Option<Mode>,
+    events: u64,
+    started: Option<Instant>,
+}
+
+impl ShardedRuntime {
+    /// Builds the runtime: seeds one engine per peering session of `table`
+    /// (sharing each session's interned path storage), hashes sessions onto
+    /// shards and spawns the worker and applier threads — or none of them in
+    /// deterministic mode.
+    pub fn new(
+        config: RuntimeConfig,
+        swift: SwiftConfig,
+        table: RoutingTable,
+        policy: ReroutingPolicy,
+    ) -> Self {
+        let engines = session_engines(&swift, &table);
+        if config.shards == 0 {
+            let applier = Applier::new(swift, table, policy);
+            return ShardedRuntime {
+                config,
+                mode: Some(Mode::Inline(Box::new(Inline { engines, applier }))),
+                events: 0,
+                started: None,
+            };
+        }
+
+        let shards = config.shards;
+        // Partition the sessions: each engine moves onto its home shard.
+        let mut partitions: Vec<BTreeMap<PeerId, SessionEngine>> =
+            (0..shards).map(|_| BTreeMap::new()).collect();
+        for (peer, engine) in engines {
+            partitions[shard_of(peer, shards)].insert(peer, engine);
+        }
+
+        let applier = Applier::new(swift, table, policy).with_deferred_rib();
+        let (applier_tx, applier_rx) = mpsc::sync_channel(config.applier_capacity.max(1));
+        let (barrier_tx, barrier_rx) = mpsc::channel();
+        let latency_window = config.latency_window;
+        let applier_handle = std::thread::Builder::new()
+            .name("swift-applier".into())
+            .spawn(move || {
+                worker::applier_loop(applier, applier_rx, barrier_tx, shards, latency_window)
+            })
+            .expect("spawn applier thread");
+
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut shard_handles = Vec::with_capacity(shards);
+        let mut depth = Vec::with_capacity(shards);
+        for (i, engines) in partitions.into_iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+            let shard_depth = Arc::new(AtomicUsize::new(0));
+            let applier_tx = applier_tx.clone();
+            let depth_clone = Arc::clone(&shard_depth);
+            let handle = std::thread::Builder::new()
+                .name(format!("swift-shard-{i}"))
+                .spawn(move || {
+                    worker::shard_loop(i, engines, rx, applier_tx, depth_clone, latency_window)
+                })
+                .expect("spawn shard thread");
+            shard_txs.push(tx);
+            shard_handles.push(handle);
+            depth.push(shard_depth);
+        }
+
+        ShardedRuntime {
+            mode: Some(Mode::Sharded(Box::new(Sharded {
+                shard_txs,
+                shard_handles,
+                applier_tx,
+                applier_handle,
+                barrier_rx,
+                next_barrier: 0,
+                buffers: (0..shards)
+                    .map(|_| Vec::with_capacity(config.batch_size))
+                    .collect(),
+                depth: depth.clone(),
+                max_depth: vec![0; shards],
+                dropped: vec![0; shards],
+            }))),
+            config,
+            events: 0,
+            started: None,
+        }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// `true` if the runtime runs inline (no threads).
+    pub fn is_deterministic(&self) -> bool {
+        self.config.shards == 0
+    }
+
+    /// Ingests one per-prefix event received on the session with `peer`.
+    ///
+    /// Sharded mode: the event is buffered and dispatched (in batches) to the
+    /// session's home shard; rule installs happen asynchronously on the
+    /// applier thread. Deterministic mode: the event is processed to
+    /// completion before returning.
+    pub fn ingest(&mut self, peer: PeerId, event: ElementaryEvent) {
+        self.started.get_or_insert_with(Instant::now);
+        self.events += 1;
+        match self.mode.as_mut().expect("runtime live") {
+            Mode::Inline(inline) => {
+                // The inline applier is eager (no deferral), so the by-ref
+                // path applies the event without cloning it.
+                inline.applier.note_event(peer, &event);
+                if let Some(engine) = inline.engines.get_mut(&peer) {
+                    if let (EngineStatus::Accepted, Some(result)) = engine.process(&event) {
+                        inline.applier.apply_inference(peer, &result);
+                    }
+                }
+            }
+            Mode::Sharded(sharded) => {
+                let shard = shard_of(peer, self.config.shards);
+                sharded.buffers[shard].push(IngestEvent {
+                    peer,
+                    event,
+                    ingest: Instant::now(),
+                });
+                if sharded.buffers[shard].len() >= self.config.batch_size {
+                    Self::dispatch(
+                        sharded,
+                        shard,
+                        self.config.batch_size,
+                        self.config.backpressure,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ingests a whole multi-session stream of `(peer, event)` pairs.
+    pub fn ingest_stream<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (PeerId, ElementaryEvent)>,
+    {
+        for (peer, event) in events {
+            self.ingest(peer, event);
+        }
+    }
+
+    /// Sends shard `shard`'s buffered batch, honouring the backpressure
+    /// policy. (Associated fn, not a method: callers hold `&mut` pieces.)
+    fn dispatch(
+        sharded: &mut Sharded,
+        shard: usize,
+        batch_capacity: usize,
+        policy: BackpressurePolicy,
+    ) {
+        if sharded.buffers[shard].is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(
+            &mut sharded.buffers[shard],
+            Vec::with_capacity(batch_capacity),
+        );
+        let new_depth = sharded.depth[shard].fetch_add(1, Ordering::Relaxed) + 1;
+        sharded.max_depth[shard] = sharded.max_depth[shard].max(new_depth);
+        match policy {
+            BackpressurePolicy::Block => {
+                sharded.shard_txs[shard]
+                    .send(ShardMsg::Batch(batch))
+                    .expect("shard thread alive");
+            }
+            BackpressurePolicy::DropNewest => {
+                if let Err(err) = sharded.shard_txs[shard].try_send(ShardMsg::Batch(batch)) {
+                    match err {
+                        TrySendError::Full(ShardMsg::Batch(batch)) => {
+                            sharded.depth[shard].fetch_sub(1, Ordering::Relaxed);
+                            sharded.dropped[shard] += batch.len() as u64;
+                        }
+                        TrySendError::Full(_) | TrySendError::Disconnected(_) => {
+                            panic!("shard thread gone")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes every buffered batch and blocks until all shards *and* the
+    /// applier have fully processed everything ingested so far.
+    pub fn flush(&mut self) {
+        let (batch_size, policy, shards) = (
+            self.config.batch_size,
+            self.config.backpressure,
+            self.config.shards,
+        );
+        match self.mode.as_mut().expect("runtime live") {
+            Mode::Inline(_) => {}
+            Mode::Sharded(sharded) => {
+                for shard in 0..shards {
+                    Self::dispatch(sharded, shard, batch_size, policy);
+                }
+                let seq = sharded.next_barrier;
+                sharded.next_barrier += 1;
+                for tx in &sharded.shard_txs {
+                    tx.send(ShardMsg::Barrier(seq)).expect("shard thread alive");
+                }
+                // Barriers complete in order: block until ours comes back.
+                loop {
+                    let done = sharded.barrier_rx.recv().expect("applier thread alive");
+                    if done >= seq {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Called once BGP has reconverged: flushes the pipeline, then runs the
+    /// (incremental) resync on the applier thread. Returns the number of
+    /// SWIFT rules removed.
+    pub fn resync_after_convergence(&mut self) -> usize {
+        self.flush();
+        match self.mode.as_mut().expect("runtime live") {
+            Mode::Inline(inline) => inline.applier.resync_after_convergence(),
+            Mode::Sharded(sharded) => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                sharded
+                    .applier_tx
+                    .send(ApplierMsg::Resync(reply_tx))
+                    .expect("applier thread alive");
+                reply_rx.recv().expect("applier replies")
+            }
+        }
+    }
+
+    /// Shuts the pipeline down (flushing everything still buffered) and
+    /// returns the final actions, applier state and metrics.
+    pub fn finish(mut self) -> RuntimeReport {
+        self.shutdown().expect("first shutdown")
+    }
+
+    /// Internal teardown shared by [`ShardedRuntime::finish`] and `Drop`.
+    fn shutdown(&mut self) -> Option<RuntimeReport> {
+        let mode = self.mode.take()?;
+        let wall = self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO);
+        match mode {
+            Mode::Inline(inline) => {
+                // Inline processing has no queueing, so no latency samples
+                // exist: the summaries honestly report count 0 rather than
+                // fabricating zeros.
+                let event_latency = LatencyRecorder::new(1);
+                let reroute_latency = LatencyRecorder::new(1);
+                let secs = wall.as_secs_f64();
+                Some(RuntimeReport {
+                    actions: inline.applier.actions().to_vec(),
+                    metrics: RuntimeMetrics {
+                        shards: 0,
+                        events: self.events,
+                        dropped: 0,
+                        wall,
+                        events_per_sec: if secs > 0.0 {
+                            self.events as f64 / secs
+                        } else {
+                            0.0
+                        },
+                        per_shard: Vec::new(),
+                        event_latency: event_latency.summary(),
+                        reroute_latency: reroute_latency.summary(),
+                    },
+                    applier: inline.applier,
+                })
+            }
+            Mode::Sharded(mut sharded) => {
+                let (batch_size, policy) = (self.config.batch_size, self.config.backpressure);
+                for shard in 0..self.config.shards {
+                    Self::dispatch(&mut sharded, shard, batch_size, policy);
+                }
+                for tx in &sharded.shard_txs {
+                    let _ = tx.send(ShardMsg::Shutdown);
+                }
+                let mut shard_reports: Vec<worker::ShardWorkerReport> = sharded
+                    .shard_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard thread exits cleanly"))
+                    .collect();
+                shard_reports.sort_by_key(|r| r.shard);
+                drop(sharded.applier_tx);
+                let applier_report = sharded
+                    .applier_handle
+                    .join()
+                    .expect("applier thread exits cleanly");
+                let wall = self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO);
+
+                let mut merged_latency = LatencyRecorder::new(self.config.latency_window);
+                let per_shard: Vec<ShardMetrics> = shard_reports
+                    .iter()
+                    .map(|r| {
+                        merged_latency.merge(&r.latency);
+                        let busy = r.busy.as_secs_f64();
+                        ShardMetrics {
+                            shard: r.shard,
+                            sessions: r.sessions,
+                            events: r.events,
+                            batches: r.batches,
+                            dropped: sharded.dropped[r.shard],
+                            max_queue_depth: sharded.max_depth[r.shard],
+                            event_latency: r.latency.summary(),
+                            events_per_sec: if busy > 0.0 {
+                                r.events as f64 / busy
+                            } else {
+                                0.0
+                            },
+                        }
+                    })
+                    .collect();
+                let dropped: u64 = sharded.dropped.iter().sum();
+                let secs = wall.as_secs_f64();
+                let delivered = self.events.saturating_sub(dropped);
+                Some(RuntimeReport {
+                    actions: applier_report.applier.actions().to_vec(),
+                    metrics: RuntimeMetrics {
+                        shards: self.config.shards,
+                        events: self.events,
+                        dropped,
+                        wall,
+                        events_per_sec: if secs > 0.0 {
+                            delivered as f64 / secs
+                        } else {
+                            0.0
+                        },
+                        per_shard,
+                        event_latency: merged_latency.summary(),
+                        reroute_latency: applier_report.reroute_latency.summary(),
+                    },
+                    applier: applier_report.applier,
+                })
+            }
+        }
+    }
+}
+
+impl Drop for ShardedRuntime {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// The home shard of a session: multiplicative (Fibonacci) hash of the peer
+/// id, folded onto the shard count. Stable across runs by construction.
+fn shard_of(peer: PeerId, shards: usize) -> usize {
+    let h = (u64::from(peer.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    (h as usize) % shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_bgp::{AsPath, Asn, Prefix, Route, RouteAttributes};
+    use swift_core::{EncodingConfig, InferenceConfig};
+
+    fn p(i: u32) -> Prefix {
+        Prefix::nth_slash24(i)
+    }
+
+    fn config() -> SwiftConfig {
+        SwiftConfig {
+            inference: InferenceConfig {
+                burst_start_threshold: 50,
+                burst_stop_threshold: 2,
+                triggering_threshold: 100,
+                use_history: false,
+                ..Default::default()
+            },
+            encoding: EncodingConfig {
+                min_prefixes_per_link: 50,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// `peers` sessions, each announcing `n` prefixes behind its own remote
+    /// link, plus one shared backup peer with disjoint paths.
+    fn multi_table(peers: u32, n: u32) -> RoutingTable {
+        let mut t = RoutingTable::new();
+        let backup = PeerId(1_000);
+        t.add_peer(backup, Asn(1_000));
+        for s in 0..peers {
+            let peer = PeerId(s + 1);
+            t.add_peer(peer, Asn(s + 1));
+            for i in 0..n {
+                let idx = s * n + i;
+                let mut attrs =
+                    RouteAttributes::from_path(AsPath::new([s + 1, 10_000 + s, 20_000 + s]));
+                attrs.local_pref = Some(200);
+                t.announce(peer, p(idx), Route::new(peer, attrs, 0));
+                t.announce(
+                    backup,
+                    p(idx),
+                    Route::new(
+                        backup,
+                        RouteAttributes::from_path(AsPath::new([1_000u32, 30_000 + idx % 7])),
+                        0,
+                    ),
+                );
+            }
+        }
+        t
+    }
+
+    /// A withdrawal burst on every session, events interleaved round-robin.
+    fn interleaved_bursts(peers: u32, n: u32) -> Vec<(PeerId, ElementaryEvent)> {
+        let mut events = Vec::new();
+        for i in 0..n {
+            for s in 0..peers {
+                events.push((
+                    PeerId(s + 1),
+                    ElementaryEvent::Withdraw {
+                        timestamp: u64::from(i * peers + s) * 1_000,
+                        prefix: p(s * n + i),
+                    },
+                ));
+            }
+        }
+        events
+    }
+
+    fn run(shards: usize, peers: u32, n: u32) -> RuntimeReport {
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig {
+                shards,
+                batch_size: 16,
+                ..RuntimeConfig::sharded(shards)
+            },
+            config(),
+            multi_table(peers, n),
+            ReroutingPolicy::allow_all(),
+        );
+        runtime.ingest_stream(interleaved_bursts(peers, n));
+        runtime.finish()
+    }
+
+    #[test]
+    fn deterministic_mode_matches_swift_router() {
+        let peers = 3u32;
+        let n = 200u32;
+        let mut router = swift_core::SwiftRouter::new(
+            config(),
+            multi_table(peers, n),
+            ReroutingPolicy::allow_all(),
+        );
+        for (peer, ev) in interleaved_bursts(peers, n) {
+            router.handle_event(peer, &ev);
+        }
+        let report = run(0, peers, n);
+        assert_eq!(report.actions.len(), router.actions().len());
+        for (a, b) in report.actions.iter().zip(router.actions()) {
+            assert_eq!(a.session, b.session);
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.links, b.links);
+            assert_eq!(a.predicted, b.predicted);
+            assert_eq!(a.rules_installed, b.rules_installed);
+        }
+        assert_eq!(report.metrics.shards, 0);
+        assert_eq!(report.metrics.events, u64::from(peers * n));
+    }
+
+    #[test]
+    fn sharded_mode_reaches_the_same_per_session_decisions() {
+        let peers = 4u32;
+        let n = 200u32;
+        let baseline = run(0, peers, n);
+        for shards in [1usize, 2, 3] {
+            let report = run(shards, peers, n);
+            assert_eq!(report.metrics.shards, shards);
+            assert_eq!(report.metrics.dropped, 0);
+            assert_eq!(
+                report.actions.len(),
+                baseline.actions.len(),
+                "{shards} shards"
+            );
+            for s in 0..peers {
+                let peer = PeerId(s + 1);
+                let got = report.actions_for(peer);
+                let want = baseline.actions_for(peer);
+                assert_eq!(got.len(), want.len(), "session {peer:?}");
+                for (a, b) in got.iter().zip(want.iter()) {
+                    assert_eq!(a.time, b.time);
+                    assert_eq!(a.links, b.links);
+                    assert_eq!(a.predicted, b.predicted);
+                }
+            }
+            // Every event reached a shard and the applier.
+            let shard_events: u64 = report.metrics.per_shard.iter().map(|m| m.events).sum();
+            assert_eq!(shard_events, u64::from(peers * n));
+            // Every session landed somewhere (and the shared backup peer too).
+            let sessions: usize = report.metrics.per_shard.iter().map(|m| m.sessions).sum();
+            assert_eq!(sessions, peers as usize + 1);
+        }
+    }
+
+    #[test]
+    fn flush_drains_and_resync_clears_rules() {
+        let peers = 2u32;
+        let n = 200u32;
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig {
+                batch_size: 8,
+                ..RuntimeConfig::sharded(2)
+            },
+            config(),
+            multi_table(peers, n),
+            ReroutingPolicy::allow_all(),
+        );
+        runtime.ingest_stream(interleaved_bursts(peers, n));
+        runtime.flush();
+        let removed = runtime.resync_after_convergence();
+        assert!(removed > 0, "the bursts installed reroute rules");
+        let report = runtime.finish();
+        assert_eq!(report.applier().forwarding().swift_rule_count(), 0);
+        assert_eq!(
+            report.applier().pending_events(),
+            0,
+            "resync synced the RIB"
+        );
+        assert_eq!(report.actions.len(), peers as usize);
+    }
+
+    #[test]
+    fn drop_newest_sheds_load_instead_of_blocking() {
+        let peers = 2u32;
+        let n = 400u32;
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig {
+                batch_size: 4,
+                queue_capacity: 1,
+                applier_capacity: 1,
+                backpressure: BackpressurePolicy::DropNewest,
+                ..RuntimeConfig::sharded(2)
+            },
+            config(),
+            multi_table(peers, n),
+            ReroutingPolicy::allow_all(),
+        );
+        runtime.ingest_stream(interleaved_bursts(peers, n));
+        let report = runtime.finish();
+        let processed: u64 = report.metrics.per_shard.iter().map(|m| m.events).sum();
+        assert_eq!(
+            processed + report.metrics.dropped,
+            u64::from(peers * n),
+            "every event is either processed or counted as dropped"
+        );
+    }
+
+    #[test]
+    fn unknown_sessions_flow_through_without_engines() {
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig::sharded(2),
+            config(),
+            multi_table(2, 60),
+            ReroutingPolicy::allow_all(),
+        );
+        runtime.ingest(
+            PeerId(9_999),
+            ElementaryEvent::Withdraw {
+                timestamp: 0,
+                prefix: p(0),
+            },
+        );
+        let report = runtime.finish();
+        assert!(report.actions.is_empty());
+        assert_eq!(report.metrics.events, 1);
+    }
+}

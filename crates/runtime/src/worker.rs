@@ -1,0 +1,213 @@
+//! The runtime's thread bodies and channel message types.
+//!
+//! Two kinds of worker run behind [`crate::ShardedRuntime`]:
+//!
+//! * **shard workers** — each owns the [`SessionEngine`]s of the sessions
+//!   hashed onto it and turns ingested events into engine verdicts;
+//! * the single **applier** — owns the [`Applier`] (routing table, forwarding
+//!   table, action log) and serializes every rule install and resync.
+//!
+//! All channels are bounded ([`std::sync::mpsc::sync_channel`]); a full shard
+//! queue pushes back on the ingest thread (or sheds load, depending on the
+//! configured [`crate::BackpressurePolicy`]), and a full applier queue pushes
+//! back on the shards.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use swift_bgp::{ElementaryEvent, PeerId};
+use swift_core::inference::{EngineStatus, InferenceResult};
+use swift_core::metrics::LatencyRecorder;
+use swift_core::pipeline::{Applier, SessionEngine};
+
+/// One ingested event on its way to a shard.
+#[derive(Debug)]
+pub(crate) struct IngestEvent {
+    /// The session the event was received on.
+    pub peer: PeerId,
+    /// The event itself.
+    pub event: ElementaryEvent,
+    /// Wall-clock ingest time, for end-to-end latency accounting.
+    pub ingest: Instant,
+}
+
+/// Controller → shard messages.
+#[derive(Debug)]
+pub(crate) enum ShardMsg {
+    /// A batch of events for this shard's sessions.
+    Batch(Vec<IngestEvent>),
+    /// Flush marker: forward an ack to the applier and keep going.
+    Barrier(u64),
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// One event after engine processing, on its way to the applier.
+#[derive(Debug)]
+pub(crate) struct ProcessedEvent {
+    pub peer: PeerId,
+    pub event: ElementaryEvent,
+    /// The accepted inference, if this event triggered one.
+    pub result: Option<InferenceResult>,
+    pub ingest: Instant,
+}
+
+/// Shard/controller → applier messages.
+#[derive(Debug)]
+pub(crate) enum ApplierMsg {
+    /// Processed events from one shard, in that shard's order.
+    Batch(Vec<ProcessedEvent>),
+    /// Barrier ack from one shard (the barrier's sequence number).
+    Barrier(u64),
+    /// Reconvergence resync request (sent by the controller after a flush);
+    /// the number of removed SWIFT rules is replied on the channel.
+    Resync(Sender<usize>),
+    /// A shard finished shutting down.
+    ShardDone,
+}
+
+/// What a shard worker reports back when it exits.
+#[derive(Debug)]
+pub(crate) struct ShardWorkerReport {
+    pub shard: usize,
+    pub sessions: usize,
+    pub events: u64,
+    pub batches: u64,
+    pub latency: LatencyRecorder,
+    /// Busy span: first batch received → last batch finished.
+    pub busy: Duration,
+}
+
+/// What the applier thread reports back when it exits.
+#[derive(Debug)]
+pub(crate) struct ApplierReport {
+    pub applier: Applier,
+    pub reroute_latency: LatencyRecorder,
+}
+
+/// The shard worker loop: process each batch through the shard's engines and
+/// forward everything (with any accepted inference attached) to the applier.
+pub(crate) fn shard_loop(
+    shard: usize,
+    mut engines: BTreeMap<PeerId, SessionEngine>,
+    rx: Receiver<ShardMsg>,
+    applier_tx: SyncSender<ApplierMsg>,
+    depth: Arc<AtomicUsize>,
+    latency_window: usize,
+) -> ShardWorkerReport {
+    let sessions = engines.len();
+    let mut events = 0u64;
+    let mut batches = 0u64;
+    let mut latency = LatencyRecorder::new(latency_window);
+    let mut first: Option<Instant> = None;
+    let mut last: Option<Instant> = None;
+    // `rx.recv()` erroring means the controller hung up without a Shutdown
+    // (e.g. dropped) — treated like a Shutdown.
+    'outer: while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(batch) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                batches += 1;
+                first.get_or_insert_with(Instant::now);
+                let mut out = Vec::with_capacity(batch.len());
+                for IngestEvent {
+                    peer,
+                    event,
+                    ingest,
+                } in batch
+                {
+                    let result = match engines.get_mut(&peer) {
+                        Some(engine) => match engine.process(&event) {
+                            (EngineStatus::Accepted, Some(result)) => Some(result),
+                            _ => None,
+                        },
+                        // Unknown session: no engine, but the event still
+                        // reaches the applier's routing table — exactly the
+                        // single-threaded router's behaviour.
+                        None => None,
+                    };
+                    latency.record(ingest.elapsed().as_micros() as u64);
+                    events += 1;
+                    out.push(ProcessedEvent {
+                        peer,
+                        event,
+                        result,
+                        ingest,
+                    });
+                }
+                last = Some(Instant::now());
+                if applier_tx.send(ApplierMsg::Batch(out)).is_err() {
+                    break 'outer; // applier gone; nothing left to do
+                }
+            }
+            ShardMsg::Barrier(seq) => {
+                if applier_tx.send(ApplierMsg::Barrier(seq)).is_err() {
+                    break 'outer;
+                }
+            }
+            ShardMsg::Shutdown => break 'outer,
+        }
+    }
+    let _ = applier_tx.send(ApplierMsg::ShardDone);
+    ShardWorkerReport {
+        shard,
+        sessions,
+        events,
+        batches,
+        latency,
+        busy: match (first, last) {
+            (Some(a), Some(b)) => b.saturating_duration_since(a),
+            _ => Duration::ZERO,
+        },
+    }
+}
+
+/// The applier loop: fold every processed event into the (deferred) routing
+/// state, install the rules of accepted inferences in arrival order, answer
+/// barrier and resync requests, and exit once every shard has said goodbye.
+pub(crate) fn applier_loop(
+    mut applier: Applier,
+    rx: Receiver<ApplierMsg>,
+    barrier_tx: Sender<u64>,
+    shards: usize,
+    latency_window: usize,
+) -> ApplierReport {
+    let mut done = 0usize;
+    let mut barrier_acks: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut reroute_latency = LatencyRecorder::new(latency_window);
+    while done < shards {
+        let Ok(msg) = rx.recv() else {
+            break;
+        };
+        match msg {
+            ApplierMsg::Batch(batch) => {
+                for processed in batch {
+                    applier.note_event_owned(processed.peer, processed.event);
+                    if let Some(result) = processed.result {
+                        applier.apply_inference(processed.peer, &result);
+                        reroute_latency.record(processed.ingest.elapsed().as_micros() as u64);
+                    }
+                }
+            }
+            ApplierMsg::Barrier(seq) => {
+                let acks = barrier_acks.entry(seq).or_insert(0);
+                *acks += 1;
+                if *acks == shards {
+                    barrier_acks.remove(&seq);
+                    let _ = barrier_tx.send(seq);
+                }
+            }
+            ApplierMsg::Resync(reply) => {
+                let removed = applier.resync_after_convergence();
+                let _ = reply.send(removed);
+            }
+            ApplierMsg::ShardDone => done += 1,
+        }
+    }
+    ApplierReport {
+        applier,
+        reroute_latency,
+    }
+}

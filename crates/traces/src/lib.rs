@@ -7,7 +7,10 @@
 //! * [`model`] — the calibrated burst size / rate / shape distributions;
 //! * [`corpus`] — the two-phase corpus generator (catalog + per-session
 //!   materialisation) and the vantage routing-table builder;
-//! * [`extract`] — the sliding-window burst extraction of §2.2.1.
+//! * [`extract`] — the sliding-window burst extraction of §2.2.1;
+//! * [`interleave`] — multi-session interleaved streams (per-session stream
+//!   merging and the synthetic concurrent-burst workload the sharded runtime
+//!   is benchmarked on).
 //!
 //! The corpus consumes and produces only `swift-bgp` types, so everything that
 //! runs on it (the SWIFT inference engine in particular) exercises exactly the
@@ -18,8 +21,10 @@
 
 pub mod corpus;
 pub mod extract;
+pub mod interleave;
 pub mod model;
 
 pub use corpus::{BurstMeta, Corpus, MaterializedBurst, SessionMeta, SessionTrace, TraceConfig};
 pub use extract::{extract_bursts, extract_from_times, ExtractConfig, ExtractedBurst};
+pub use interleave::{interleave_streams, InterleavedEvent, MultiSessionConfig, MultiSessionTrace};
 pub use model::{BurstRateModel, BurstShape, BurstSizeModel};

@@ -9,6 +9,8 @@
 //! * [`bgpsim`] — policy-compliant control-plane simulator;
 //! * [`traces`] — synthetic RouteViews/RIS-like trace corpus;
 //! * [`core`] — the SWIFT inference algorithm and encoding scheme;
+//! * [`runtime`] — the sharded multi-session runtime driving every peer
+//!   engine concurrently;
 //! * [`dataplane`] — data-plane convergence/downtime model.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
@@ -20,7 +22,9 @@ pub use swift_bgp as bgp;
 pub use swift_bgpsim as bgpsim;
 pub use swift_core as core;
 pub use swift_dataplane as dataplane;
+pub use swift_runtime as runtime;
 pub use swift_topology as topology;
 pub use swift_traces as traces;
 
 pub use swift_core::{RerouteAction, SwiftConfig, SwiftRouter};
+pub use swift_runtime::{RuntimeConfig, RuntimeReport, ShardedRuntime};
