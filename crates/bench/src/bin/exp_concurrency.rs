@@ -27,9 +27,10 @@
 //!   `--smoke` runs a reduced sweep with scaled-down thresholds (used by CI).
 
 use std::time::{Duration, Instant};
+use swift_bench::per_session_decisions;
 use swift_bgp::{ElementaryEvent, PeerId};
 use swift_core::encoding::ReroutingPolicy;
-use swift_core::{InferenceConfig, RerouteAction, SwiftConfig, SwiftRouter};
+use swift_core::{InferenceConfig, SwiftConfig, SwiftRouter};
 use swift_runtime::{RuntimeConfig, ShardedRuntime};
 use swift_traces::interleave::{MultiSessionConfig, MultiSessionTrace};
 
@@ -44,26 +45,9 @@ fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
-/// The per-session view of an action list: (session, time, links, predicted
-/// size) tuples in per-session order. Global interleavings across sessions
-/// are scheduling-dependent; this projection is not.
-fn per_session_decisions(actions: &[RerouteAction], sessions: usize) -> Vec<Vec<String>> {
-    (0..sessions)
-        .map(|s| {
-            actions
-                .iter()
-                .filter(|a| a.session == PeerId(s as u32 + 1))
-                .map(|a| {
-                    format!(
-                        "t={} links={:?} predicted={}",
-                        a.time,
-                        a.links,
-                        a.predicted.len()
-                    )
-                })
-                .collect()
-        })
-        .collect()
+/// The session peers of a sweep point (ids 1..=sessions).
+fn session_peers(sessions: usize) -> impl Iterator<Item = PeerId> {
+    (1..=sessions as u32).map(PeerId)
 }
 
 fn main() {
@@ -164,8 +148,8 @@ fn main() {
         router.resync_after_convergence();
         let base_resync = t1.elapsed();
         let base_rate = events.len() as f64 / secs(base_pipeline);
-        let baseline = per_session_decisions(router.actions(), sweep.sessions);
-        let accepted: usize = baseline.iter().map(|v| v.len()).sum();
+        let baseline = per_session_decisions(router.actions(), session_peers(sweep.sessions));
+        let accepted: usize = baseline.values().map(|v| v.len()).sum();
         println!(
             "  baseline 1-thread : pipeline {:>8.3} s  {:>10.0} ev/s  (resync {:>6.3} s, {} reroutes)",
             secs(base_pipeline),
@@ -186,7 +170,7 @@ fn main() {
         let det_pipeline = t0.elapsed();
         let det_report = det.finish();
         assert_eq!(
-            per_session_decisions(&det_report.actions, sweep.sessions),
+            per_session_decisions(&det_report.actions, session_peers(sweep.sessions)),
             baseline,
             "deterministic runtime diverged from SwiftRouter"
         );
@@ -215,7 +199,7 @@ fn main() {
 
             assert_eq!(report.metrics.dropped, 0, "lossless under Block policy");
             assert_eq!(
-                per_session_decisions(&report.actions, sweep.sessions),
+                per_session_decisions(&report.actions, session_peers(sweep.sessions)),
                 baseline,
                 "sharded runtime ({shards} shards) diverged from the baseline"
             );

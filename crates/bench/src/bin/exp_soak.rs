@@ -1,0 +1,274 @@
+//! `exp_soak` — corpus-scale soak replay through the sharded runtime.
+//!
+//! Where `exp_concurrency` measures peak throughput on one synthetic
+//! concurrent-burst volley, this harness answers the endurance question
+//! behind the paper's headline claim (§6: a SWIFTED router keeps forwarding
+//! across a *month* of real churn from 213 peering sessions): the whole
+//! corpus — every session's bursts, noise and quiet stretches — is replayed
+//! through the runtime **streamingly** (`swift_traces::soak`, a lazy k-way
+//! merge that never materialises more than the currently-active burst
+//! streams), with the lifecycle a long-running border router actually sees:
+//!
+//! * `resync_after_convergence` at every convergence point (quiet gap)
+//!   between bursts, so SWIFT rules are installed *and* retired thousands of
+//!   times per run;
+//! * at least one session torn down mid-run and re-registered before its
+//!   next burst (`ShardedRuntime::teardown_session` / `register_session`),
+//!   exercising the applier's rule + RIB-mirror cleanup.
+//!
+//! Every mode (inline, each sharded configuration) must reach identical
+//! per-session reroute decisions — the soak's numbers are only trustworthy
+//! because the work is provably the same. Reported per mode: wall time,
+//! events/s, resyncs and rules removed, reroute latency p50/p99, per-shard
+//! queue high-waters.
+//!
+//! Tiers: `--smoke` (6 sessions × 4k prefixes, CI-sized) vs the default full
+//! tier (213 sessions × 10k prefixes, ~2.1M-prefix vantage table — run it on
+//! a multi-core box with a few GB of memory).
+//!
+//! Usage: `exp_soak [--smoke] [--shards 2,4] [--no-churn]`
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use swift_bench::per_session_decisions;
+use swift_bgp::{Asn, PeerId, Prefix, Route};
+use swift_core::encoding::ReroutingPolicy;
+use swift_core::{EncodingConfig, InferenceConfig, SwiftConfig};
+use swift_runtime::{RuntimeConfig, ShardedRuntime};
+use swift_traces::corpus::{Corpus, TraceConfig};
+use swift_traces::soak::{pick_feasible_flaps, ReplayItem, SoakConfig, SoakReplay};
+
+/// A flapped session's re-registration payload: its AS number and primary
+/// routes.
+type FlapRoutes = BTreeMap<PeerId, (Asn, Vec<(Prefix, Route)>)>;
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// What one full soak pass produced.
+struct SoakOutcome {
+    report: swift_runtime::RuntimeReport,
+    pipeline: Duration,
+    resyncs: usize,
+    rules_removed: usize,
+    downs: usize,
+    ups: usize,
+    flaps_skipped: usize,
+}
+
+/// Replays the whole corpus through one runtime configuration, honouring the
+/// stream's lifecycle markers and convergence points.
+fn drive(
+    shards: usize,
+    template: &SoakReplay<'_>,
+    table: &swift_bgp::RoutingTable,
+    swift: &SwiftConfig,
+    flap_routes: &FlapRoutes,
+) -> SoakOutcome {
+    let mut runtime = ShardedRuntime::new(
+        RuntimeConfig::sharded(shards),
+        swift.clone(),
+        table.clone(),
+        ReroutingPolicy::allow_all(),
+    );
+    let mut replay = template.clone();
+    let (mut resyncs, mut rules_removed, mut downs, mut ups) = (0usize, 0usize, 0usize, 0usize);
+    let t0 = Instant::now();
+    for item in replay.by_ref() {
+        match item {
+            ReplayItem::Event { peer, event } => runtime.ingest(peer, event),
+            ReplayItem::Converged { .. } => {
+                rules_removed += runtime.resync_after_convergence();
+                resyncs += 1;
+            }
+            ReplayItem::SessionDown { peer, .. } => {
+                runtime.teardown_session(peer);
+                downs += 1;
+            }
+            ReplayItem::SessionUp { peer, .. } => {
+                let (asn, routes) = &flap_routes[&peer];
+                runtime.register_session(peer, *asn, routes.clone());
+                ups += 1;
+            }
+        }
+    }
+    runtime.flush();
+    let pipeline = t0.elapsed();
+    // The trailing resync after the corpus's last burst.
+    rules_removed += runtime.resync_after_convergence();
+    resyncs += 1;
+    SoakOutcome {
+        report: runtime.finish(),
+        pipeline,
+        resyncs,
+        rules_removed,
+        downs,
+        ups,
+        flaps_skipped: replay.flaps_skipped(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let churn = !args.iter().any(|a| a == "--no-churn");
+    let shard_counts: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.split(',')
+                .map(|n| n.parse().expect("--shards takes a comma-separated list"))
+                .collect()
+        })
+        .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![2, 4, 8] });
+
+    // Smoke scales tables and thresholds down so CI exercises the full
+    // accept → install → resync → teardown path in seconds; the full tier
+    // keeps the paper's 213 sessions and default thresholds.
+    let (trace_config, swift_config) = if smoke {
+        (
+            TraceConfig {
+                num_peers: 6,
+                table_size: 4_000,
+                bursts_per_peer_mean: 3.0,
+                ..TraceConfig::small()
+            },
+            SwiftConfig {
+                inference: InferenceConfig {
+                    burst_start_threshold: 200,
+                    burst_stop_threshold: 2,
+                    triggering_threshold: 400,
+                    use_history: false,
+                    ..Default::default()
+                },
+                encoding: EncodingConfig {
+                    min_prefixes_per_link: 200,
+                    ..Default::default()
+                },
+            },
+        )
+    } else {
+        (
+            TraceConfig {
+                num_peers: 213,
+                table_size: 10_000,
+                bursts_per_peer_mean: 15.7,
+                ..TraceConfig::default()
+            },
+            SwiftConfig::default(),
+        )
+    };
+
+    let corpus = Corpus::generate(trace_config);
+    let flaps = if churn {
+        pick_feasible_flaps(&corpus, 2)
+    } else {
+        Vec::new()
+    };
+    let soak_config = SoakConfig {
+        flaps: flaps.clone(),
+        ..SoakConfig::default()
+    };
+    let template = SoakReplay::new(&corpus, soak_config);
+    let table = template.vantage_table();
+    let flap_routes: FlapRoutes = flaps
+        .iter()
+        .map(|&(session, _)| {
+            let (peer, asn) = template.session_peers().nth(session).expect("session");
+            let routes = template.session_routes(peer).expect("session routes");
+            (peer, (asn, routes))
+        })
+        .collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("exp_soak — corpus soak replay through the sharded runtime");
+    println!(
+        "tier: {} | sessions={} table={}/session bursts={} flaps scheduled={} | {} core(s)\n",
+        if smoke { "smoke" } else { "full" },
+        corpus.num_sessions(),
+        corpus.config().table_size,
+        corpus.total_bursts(),
+        flaps.len(),
+        cores,
+    );
+
+    // --- Inline baseline --------------------------------------------------
+    let baseline = drive(0, &template, &table, &swift_config, &flap_routes);
+    let session_peers: Vec<PeerId> = template.session_peers().map(|(p, _)| p).collect();
+    let base_decisions =
+        per_session_decisions(&baseline.report.actions, session_peers.iter().copied());
+    let events = baseline.report.metrics.events;
+    let base_rate = events as f64 / secs(baseline.pipeline);
+    let reroutes: usize = base_decisions.values().map(|v| v.len()).sum();
+    println!(
+        "  inline (0 shards) : {:>8.3} s  {:>10.0} ev/s  | {} events, {} reroutes, {} resyncs ({} rules removed), churn {} down / {} up ({} skipped)",
+        secs(baseline.pipeline),
+        base_rate,
+        events,
+        reroutes,
+        baseline.resyncs,
+        baseline.rules_removed,
+        baseline.downs,
+        baseline.ups,
+        baseline.flaps_skipped,
+    );
+    if churn {
+        assert!(
+            baseline.downs >= 1 && baseline.ups >= 1,
+            "the soak must exercise at least one mid-run teardown + re-register \
+             (downs={}, ups={}, skipped={})",
+            baseline.downs,
+            baseline.ups,
+            baseline.flaps_skipped,
+        );
+    }
+
+    // --- Sharded modes ----------------------------------------------------
+    for &shards in &shard_counts {
+        let outcome = drive(shards, &template, &table, &swift_config, &flap_routes);
+        assert_eq!(outcome.report.metrics.dropped, 0, "lossless under Block");
+        assert_eq!(
+            (outcome.downs, outcome.ups),
+            (baseline.downs, baseline.ups),
+            "lifecycle schedule is part of the replay, not the scheduling"
+        );
+        let decisions =
+            per_session_decisions(&outcome.report.actions, session_peers.iter().copied());
+        assert_eq!(
+            decisions, base_decisions,
+            "sharded soak ({shards} shards) diverged from the inline baseline"
+        );
+        let rate = events as f64 / secs(outcome.pipeline);
+        let max_depth = outcome
+            .report
+            .metrics
+            .per_shard
+            .iter()
+            .map(|m| m.max_queue_depth)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "  shards={shards:<2}         : {:>8.3} s  {:>10.0} ev/s  speedup {:>5.2}x  \
+             reroute p50/p99 {:>6}/{:<8} µs  maxdepth {}  resyncs {} ({} rules removed)",
+            secs(outcome.pipeline),
+            rate,
+            rate / base_rate,
+            outcome.report.metrics.reroute_latency.p50,
+            outcome.report.metrics.reroute_latency.p99,
+            max_depth,
+            outcome.resyncs,
+            outcome.rules_removed,
+        );
+    }
+
+    println!(
+        "\nsoak done: every surviving session's reroute decisions are identical across all modes"
+    );
+    if smoke {
+        println!("(smoke tier — run without --smoke on a multi-core box for the full 213-session corpus)");
+    }
+}

@@ -12,11 +12,36 @@
 
 #![warn(clippy::all)]
 
+use std::collections::BTreeMap;
 use swift_bgp::{PeerId, PrefixSet, Timestamp};
 use swift_core::inference::InferenceEngine;
 use swift_core::metrics::Classification;
-use swift_core::InferenceConfig;
+use swift_core::{InferenceConfig, RerouteAction};
 use swift_traces::{Corpus, MaterializedBurst, SessionTrace, TraceConfig};
+
+/// The per-session projection of a reroute action log: `(time, links,
+/// predicted size)` per session, in acceptance order. Per-session
+/// subsequences are deterministic across runtime modes while the global
+/// interleaving is scheduling-dependent, so this projection is what the
+/// concurrency and soak harnesses compare across configurations.
+pub fn per_session_decisions(
+    actions: &[RerouteAction],
+    peers: impl IntoIterator<Item = PeerId>,
+) -> BTreeMap<PeerId, Vec<String>> {
+    let mut decisions: BTreeMap<PeerId, Vec<String>> =
+        peers.into_iter().map(|p| (p, Vec::new())).collect();
+    for a in actions {
+        if let Some(list) = decisions.get_mut(&a.session) {
+            list.push(format!(
+                "t={} links={:?} predicted={}",
+                a.time,
+                a.links,
+                a.predicted.len()
+            ));
+        }
+    }
+    decisions
+}
 
 /// The scaled evaluation corpus used by the trace-driven experiments
 /// (Fig. 6, Table 2, Fig. 7, Fig. 8).

@@ -37,13 +37,17 @@ impl RoutingTable {
         Self::default()
     }
 
-    /// Registers a peer (idempotent). Messages from unknown peers are rejected
-    /// by [`RoutingTable::apply`].
+    /// Registers a peer. Re-registering an existing peer keeps its RIB but
+    /// adopts the given AS number (a peer may renumber between sessions).
+    /// Messages from unknown peers are rejected by [`RoutingTable::apply`].
     pub fn add_peer(&mut self, peer: PeerId, asn: Asn) {
-        self.peers.entry(peer).or_insert(PeerState {
-            asn,
-            rib: AdjRibIn::new(),
-        });
+        self.peers
+            .entry(peer)
+            .and_modify(|state| state.asn = asn)
+            .or_insert(PeerState {
+                asn,
+                rib: AdjRibIn::new(),
+            });
     }
 
     /// The AS number of a registered peer.
@@ -91,6 +95,22 @@ impl RoutingTable {
         state.rib.announce(prefix, route.clone());
         self.loc_rib.announce(prefix, route);
         true
+    }
+
+    /// Withdraws every route learned from `peer` — Adj-RIB-In and Loc-RIB —
+    /// while keeping the peer registered: the state of a BGP session that
+    /// just went down but may re-establish. Returns the prefixes whose route
+    /// from `peer` was withdrawn (unregistered peers yield an empty list).
+    pub fn clear_peer(&mut self, peer: PeerId) -> Vec<Prefix> {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return Vec::new();
+        };
+        let rib = std::mem::take(&mut state.rib);
+        let prefixes: Vec<Prefix> = rib.prefixes().copied().collect();
+        for prefix in &prefixes {
+            self.loc_rib.withdraw(prefix, peer);
+        }
+        prefixes
     }
 
     /// Total number of prefixes with at least one route.
@@ -246,6 +266,29 @@ mod tests {
         assert!(!t.apply(PeerId(9), &ev));
         t.add_peer(PeerId(9), Asn(9));
         assert!(t.apply(PeerId(9), &ev));
+    }
+
+    #[test]
+    fn clear_peer_withdraws_routes_but_keeps_registration() {
+        let mut t = fig1_table();
+        // Peer 3 offers the shortest paths, so it is best everywhere.
+        assert_eq!(t.best(&p(0)).unwrap().peer, PeerId(3));
+        let cleared = t.clear_peer(PeerId(3));
+        assert_eq!(cleared.len(), 30);
+        assert_eq!(t.adj_rib_in(PeerId(3)).unwrap().len(), 0);
+        assert_eq!(t.peer_asn(PeerId(3)), Some(Asn(3)), "peer stays registered");
+        // Best paths fall back to the surviving peers; nothing dangles.
+        assert_eq!(t.best(&p(0)).unwrap().peer, PeerId(2));
+        assert_eq!(t.prefix_count(), 30, "every prefix kept an alternate");
+        // The session can re-establish: announcements flow again.
+        assert!(t.announce(PeerId(3), p(0), route(3, &[3, 6])));
+        assert_eq!(t.adj_rib_in(PeerId(3)).unwrap().len(), 1);
+        // Re-registering adopts a new AS number without touching the RIB.
+        t.add_peer(PeerId(3), Asn(33));
+        assert_eq!(t.peer_asn(PeerId(3)), Some(Asn(33)));
+        assert_eq!(t.adj_rib_in(PeerId(3)).unwrap().len(), 1);
+        // Clearing an unknown peer is a no-op.
+        assert!(t.clear_peer(PeerId(99)).is_empty());
     }
 
     #[test]

@@ -141,7 +141,7 @@ impl TagLayout {
 }
 
 /// A ternary match on a tag: `tag & mask == value`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TagRule {
     /// Expected value of the masked bits.
     pub value: u64,

@@ -216,7 +216,15 @@ impl TwoStageTable {
 
     /// Number of SWIFT-installed (fast-reroute) stage-2 rules.
     pub fn swift_rule_count(&self) -> usize {
-        self.stage2.iter().filter(|r| r.swift_installed).count()
+        // Distinct rule bits: overlapping reroutes may hold claims on one
+        // shared rule (see `install_reroute_tracked`), which is still a
+        // single data-plane rule.
+        self.stage2
+            .iter()
+            .filter(|r| r.swift_installed)
+            .map(|r| r.rule)
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 
     /// Looks up the forwarding next-hop of `prefix` through both stages.
@@ -265,14 +273,16 @@ impl TwoStageTable {
                 for nh in backups_in_use {
                     let peer = self.nexthops[(nh - 1) as usize];
                     let rule = self.layout.reroute_rule(pos, code, nh);
-                    // Idempotence: skip identical rules.
-                    if self
+                    // Idempotence at the data plane: an identical rule already
+                    // present means no new data-plane update. The entry is
+                    // still recorded under this reroute's id — a *claim* on
+                    // the shared rule — so removing the earlier reroute (in
+                    // any order, e.g. a session teardown) cannot strip a rule
+                    // this reroute still needs.
+                    let duplicate = self
                         .stage2
                         .iter()
-                        .any(|r| r.swift_installed && r.rule == rule)
-                    {
-                        continue;
-                    }
+                        .any(|r| r.swift_installed && r.rule == rule);
                     self.stage2.push(Stage2Rule {
                         priority: REROUTE_PRIORITY,
                         rule,
@@ -280,7 +290,9 @@ impl TwoStageTable {
                         swift_installed: true,
                         reroute: Some(id),
                     });
-                    installed += 1;
+                    if !duplicate {
+                        installed += 1;
+                    }
                 }
             }
         }
@@ -289,25 +301,42 @@ impl TwoStageTable {
 
     /// Removes the stage-2 rules belonging to one converged reroute, leaving
     /// every other reroute's rules (and the default rules) in place. Returns
-    /// the number of rules removed.
-    ///
-    /// Note on overlap: a reroute whose rules were all deduplicated against an
-    /// earlier, still-installed reroute removes nothing here — the rules
-    /// belong to the earlier id. Callers that tear down *all* outstanding
-    /// reroutes at once (the reconvergence resync) are unaffected; callers
-    /// removing reroutes selectively should remove them oldest-first.
+    /// the number of **data-plane** rules removed: an entry that was a claim
+    /// on a rule shared with another still-outstanding reroute keeps the rule
+    /// alive and counts zero, so reroutes can be removed selectively in any
+    /// order (e.g. a session teardown mid-burst).
     pub fn remove_reroute(&mut self, id: RerouteId) -> usize {
-        let before = self.stage2.len();
+        let removed: Vec<TagRule> = self
+            .stage2
+            .iter()
+            .filter(|r| r.reroute == Some(id))
+            .map(|r| r.rule)
+            .collect();
         self.stage2.retain(|r| r.reroute != Some(id));
-        before - self.stage2.len()
+        removed
+            .iter()
+            .filter(|rule| {
+                !self
+                    .stage2
+                    .iter()
+                    .any(|r| r.swift_installed && r.rule == **rule)
+            })
+            .count()
     }
 
     /// Removes every SWIFT-installed rule (used once BGP has reconverged and
-    /// the ordinary routes are up to date again).
+    /// the ordinary routes are up to date again). Returns the number of
+    /// distinct data-plane rules removed (claims on a shared rule count
+    /// once).
     pub fn clear_swift_rules(&mut self) -> usize {
-        let before = self.stage2.len();
+        let distinct: BTreeSet<TagRule> = self
+            .stage2
+            .iter()
+            .filter(|r| r.swift_installed)
+            .map(|r| r.rule)
+            .collect();
         self.stage2.retain(|r| !r.swift_installed);
-        before - self.stage2.len()
+        distinct.len()
     }
 
     /// The stage-2 rules, for inspection.
@@ -515,6 +544,40 @@ mod tests {
         assert_eq!(ts.lookup(&p(0)), Some(PeerId(2)));
         // Removing an already-removed reroute is a no-op.
         assert_eq!(ts.remove_reroute(id_a), 0);
+    }
+
+    #[test]
+    fn overlapping_reroutes_survive_out_of_order_removal() {
+        // Two sessions infer the same failed link: the second reroute's rules
+        // are all claims on the first's. Removing the *older* reroute first
+        // (a session teardown mid-burst) must keep the shared rules alive
+        // for the younger one.
+        let table = fig1_table(10);
+        let mut ts = TwoStageTable::build(&table, &config(), &ReroutingPolicy::allow_all());
+        let (id_a, installed_a) = ts.install_reroute_tracked(&[AsLink::new(2, 5)]);
+        assert!(installed_a >= 1);
+        let (id_b, installed_b) = ts.install_reroute_tracked(&[AsLink::new(2, 5)]);
+        assert_eq!(
+            installed_b, 0,
+            "identical rules are no new data-plane updates"
+        );
+        assert_eq!(
+            ts.swift_rule_count(),
+            installed_a,
+            "one shared set of rules"
+        );
+        // Oldest removed first: the rules are still claimed by id_b.
+        assert_eq!(ts.remove_reroute(id_a), 0);
+        assert_eq!(ts.swift_rule_count(), installed_a);
+        assert_eq!(
+            ts.lookup(&p(0)),
+            Some(PeerId(3)),
+            "the younger reroute still redirects traffic"
+        );
+        // Last claim released: now the rules really leave the data plane.
+        assert_eq!(ts.remove_reroute(id_b), installed_a);
+        assert_eq!(ts.swift_rule_count(), 0);
+        assert_eq!(ts.lookup(&p(0)), Some(PeerId(2)));
     }
 
     #[test]

@@ -104,28 +104,33 @@ impl Quadrant {
 }
 
 /// Nearest-rank percentile of a slice (q in 0.0–1.0). Returns `None` on an
-/// empty slice. The input does not need to be sorted.
+/// empty slice or when every value is NaN; NaN values are ignored, and a NaN
+/// `q` is treated as 0.0. The input does not need to be sorted.
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let q = q.clamp(0.0, 1.0);
-    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
-    Some(sorted[rank.min(sorted.len() - 1)])
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered out"));
+    Some(sorted[nearest_rank(q, sorted.len())])
 }
 
-/// Nearest-rank percentile of a slice of integers.
+/// Nearest-rank percentile of a slice of integers. Returns `None` on an empty
+/// slice; a NaN `q` is treated as 0.0.
 pub fn percentile_usize(values: &[usize], q: f64) -> Option<usize> {
     if values.is_empty() {
         return None;
     }
     let mut sorted = values.to_vec();
     sorted.sort_unstable();
-    let q = q.clamp(0.0, 1.0);
-    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
-    Some(sorted[rank.min(sorted.len() - 1)])
+    Some(sorted[nearest_rank(q, sorted.len())])
+}
+
+/// The nearest-rank index of quantile `q` in a sorted slice of length `len`.
+fn nearest_rank(q: f64, len: usize) -> usize {
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let rank = ((q * len as f64).ceil() as usize).max(1) - 1;
+    rank.min(len - 1)
 }
 
 /// A bounded sample recorder for latency-like quantities (microseconds,
@@ -179,18 +184,35 @@ impl LatencyRecorder {
 
     /// Merges another recorder's retained samples and lifetime aggregates
     /// into this one (used to combine per-shard recorders into one report).
+    ///
+    /// The capacity grows to hold both retained windows, so merging N shard
+    /// recorders keeps every shard's window — no shard's samples are evicted
+    /// by whichever shard happens to merge last. Both windows are walked
+    /// oldest-first (from each ring's head), so the combined window keeps
+    /// "older before newer" semantics for later [`LatencyRecorder::record`]
+    /// calls and merges.
     pub fn merge(&mut self, other: &LatencyRecorder) {
         self.recorded += other.recorded;
         self.max = self.max.max(other.max);
         self.sum += other.sum;
-        for &v in &other.samples {
-            if self.samples.len() < self.capacity {
-                self.samples.push(v);
-            } else {
-                self.samples[self.next] = v;
-                self.next = (self.next + 1) % self.capacity;
-            }
+        if other.samples.is_empty() {
+            return;
         }
+        let mut combined = Vec::with_capacity(self.samples.len() + other.samples.len());
+        combined.extend(self.window_oldest_first());
+        combined.extend(other.window_oldest_first());
+        self.capacity = self.capacity.max(combined.len());
+        self.samples = combined;
+        // The linearized window starts at its oldest sample, so the ring
+        // head is back at index 0 (`record` keeps appending while there is
+        // room and overwrites the oldest otherwise).
+        self.next = 0;
+    }
+
+    /// The retained window, oldest sample first.
+    fn window_oldest_first(&self) -> impl Iterator<Item = u64> + '_ {
+        let (tail, head) = self.samples.split_at(self.next);
+        head.iter().chain(tail.iter()).copied()
     }
 
     /// Summarizes the recorder: percentiles over the retained window,
@@ -324,6 +346,67 @@ mod tests {
     }
 
     #[test]
+    fn merge_keeps_every_shards_window() {
+        // Two "shards" with disjoint latency distributions, each with a full
+        // window. Merging into a recorder too small for both must grow, not
+        // let the last-merged shard evict the first one's samples.
+        let mut low = LatencyRecorder::new(100);
+        let mut high = LatencyRecorder::new(100);
+        for v in 1..=100u64 {
+            low.record(v); // median 50
+            high.record(1_000 + v); // median 1050
+        }
+        let mut merged = LatencyRecorder::new(100);
+        merged.merge(&low);
+        merged.merge(&high);
+        let s = merged.summary();
+        assert_eq!(s.count, 200);
+        let (p50_low, p50_high) = (low.summary().p50, high.summary().p50);
+        assert!(
+            s.p50 > p50_low && s.p50 < p50_high,
+            "merged p50 {} must land between the shards' medians {p50_low} and {p50_high}",
+            s.p50
+        );
+        // The merged window holds all 200 samples: the exact nearest-rank
+        // median of the combined distribution, not of one shard's.
+        assert_eq!(s.p50, 100, "rank 100 of the 200 combined samples");
+        assert_eq!(s.max, 1_100);
+    }
+
+    #[test]
+    fn merge_walks_wrapped_source_oldest_first() {
+        // A wrapped source ring: capacity 4, storage [50,60,30,40], head at
+        // index 2 — the retained window is [30,40,50,60] oldest-first.
+        let mut src = LatencyRecorder::new(4);
+        for v in [10u64, 20, 30, 40, 50, 60] {
+            src.record(v);
+        }
+        let mut dst = LatencyRecorder::new(4);
+        dst.merge(&src);
+        // Two more records must evict the *oldest* merged samples (30, 40) —
+        // if merge had copied the source in storage order, they would evict
+        // 50 and 60 instead.
+        dst.record(70);
+        dst.record(80);
+        let s = dst.summary();
+        assert_eq!(s.p50, 60, "window is [50,60,70,80]; storage-order merge would leave [70,80,30,40] and a p50 of 40");
+    }
+
+    #[test]
+    fn merge_into_empty_and_from_empty() {
+        let mut src = LatencyRecorder::new(8);
+        for v in 1..=8u64 {
+            src.record(v);
+        }
+        let mut dst = LatencyRecorder::new(2);
+        dst.merge(&LatencyRecorder::new(4)); // empty source: no-op
+        assert_eq!(dst.summary().count, 0);
+        dst.merge(&src);
+        assert_eq!(dst.summary().count, 8);
+        assert_eq!(dst.summary().p50, 4, "all 8 samples retained");
+    }
+
+    #[test]
     fn percentiles_nearest_rank() {
         let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         assert_eq!(percentile(&values, 0.5), Some(50.0));
@@ -334,5 +417,31 @@ mod tests {
         let ints: Vec<usize> = (1..=10).collect();
         assert_eq!(percentile_usize(&ints, 0.5), Some(5));
         assert_eq!(percentile_usize(&[], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        // q = 0.0 is the minimum, q = 1.0 the maximum; out-of-range clamps.
+        assert_eq!(percentile(&values, 0.0), Some(1.0));
+        assert_eq!(percentile(&values, 1.0), Some(100.0));
+        assert_eq!(percentile(&values, -3.0), Some(1.0));
+        assert_eq!(percentile(&values, 7.0), Some(100.0));
+        // A single sample is every percentile.
+        assert_eq!(percentile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 0.5), Some(42.0));
+        assert_eq!(percentile(&[42.0], 1.0), Some(42.0));
+        // NaN samples are ignored; all-NaN input has no percentile.
+        assert_eq!(percentile(&[1.0, f64::NAN, 3.0], 1.0), Some(3.0));
+        assert_eq!(percentile(&[1.0, f64::NAN, 3.0], 0.5), Some(1.0));
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 0.5), None);
+        // NaN q falls back to the minimum instead of an arbitrary rank.
+        assert_eq!(percentile(&values, f64::NAN), Some(1.0));
+
+        let ints: Vec<usize> = (1..=10).collect();
+        assert_eq!(percentile_usize(&ints, 0.0), Some(1));
+        assert_eq!(percentile_usize(&ints, 1.0), Some(10));
+        assert_eq!(percentile_usize(&[7], 0.99), Some(7));
+        assert_eq!(percentile_usize(&ints, f64::NAN), Some(1));
     }
 }

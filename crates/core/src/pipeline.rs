@@ -32,7 +32,9 @@ use crate::encoding::{RerouteId, ReroutingPolicy, TwoStageTable};
 use crate::inference::{EngineStatus, InferenceEngine, InferenceResult};
 use crate::router::RerouteAction;
 use std::collections::BTreeMap;
-use swift_bgp::{AsLink, ElementaryEvent, InternedRib, PeerId, Prefix, PrefixSet, RoutingTable};
+use swift_bgp::{
+    AsLink, Asn, ElementaryEvent, InternedRib, PeerId, Prefix, PrefixSet, Route, RoutingTable,
+};
 
 /// One BGP session's inference half: the per-session state a worker shard
 /// owns.
@@ -99,8 +101,10 @@ pub struct Applier {
     /// Prefixes whose routes changed since the last resync — the set the
     /// incremental stage-1 refresh retags.
     dirty: PrefixSet,
-    /// Reroutes installed and not yet resynced away.
-    outstanding: Vec<RerouteId>,
+    /// Reroutes installed and not yet resynced away, tagged with the session
+    /// whose inference installed them (so a session teardown can remove just
+    /// that session's rules).
+    outstanding: Vec<(PeerId, RerouteId)>,
     /// Events not yet folded into `table` (deferred mode only).
     pending: Vec<(PeerId, ElementaryEvent)>,
     deferred_rib: bool,
@@ -204,7 +208,7 @@ impl Applier {
     /// action.
     pub fn apply_inference(&mut self, peer: PeerId, result: &InferenceResult) -> RerouteAction {
         let (id, rules_installed) = self.forwarding.install_reroute_tracked(&result.links.links);
-        self.outstanding.push(id);
+        self.outstanding.push((peer, id));
         let action = RerouteAction {
             session: peer,
             time: result.time,
@@ -229,7 +233,7 @@ impl Applier {
     pub fn resync_after_convergence(&mut self) -> usize {
         self.sync_rib();
         let mut removed = 0;
-        for id in std::mem::take(&mut self.outstanding) {
+        for (_, id) in std::mem::take(&mut self.outstanding) {
             removed += self.forwarding.remove_reroute(id);
         }
         let dirty = std::mem::take(&mut self.dirty);
@@ -248,6 +252,56 @@ impl Applier {
         self.outstanding.clear();
         self.dirty = PrefixSet::new();
         removed
+    }
+
+    /// Registers (or re-registers) a peering session on the serialized
+    /// routing state: the peer joins the table, its routes are announced and
+    /// the touched prefixes are retagged in stage 1 (the new session may have
+    /// become primary for some of them). Any deferred events are folded in
+    /// first so the retag sees current routes. Returns the number of routes
+    /// announced.
+    ///
+    /// The stage-2 next-hop index is part of the offline-precomputed encoding
+    /// (§5), so a peer that was *never* in the table when the forwarding
+    /// table was built cannot be used as a next-hop until the next full
+    /// [`TwoStageTable::build`] — re-registering a peer that went down keeps
+    /// its slot.
+    pub fn register_session<I>(&mut self, peer: PeerId, asn: Asn, routes: I) -> usize
+    where
+        I: IntoIterator<Item = (Prefix, Route)>,
+    {
+        self.sync_rib();
+        self.table.add_peer(peer, asn);
+        let mut announced = Vec::new();
+        for (prefix, route) in routes {
+            self.table.announce(peer, prefix, route);
+            announced.push(prefix);
+        }
+        self.forwarding
+            .refresh_prefixes(&self.table, &self.policy, announced.iter().copied());
+        announced.len()
+    }
+
+    /// Tears a peering session down: folds any deferred events, removes the
+    /// SWIFT rules installed by this session's inferences, withdraws every
+    /// route learned on the session from the RIB mirror (the peer itself
+    /// stays registered so it can re-establish) and retags the prefixes it
+    /// served. Returns `(rules_removed, routes_withdrawn)`.
+    pub fn teardown_session(&mut self, peer: PeerId) -> (usize, usize) {
+        self.sync_rib();
+        let mut rules_removed = 0;
+        let outstanding = std::mem::take(&mut self.outstanding);
+        for (owner, id) in outstanding {
+            if owner == peer {
+                rules_removed += self.forwarding.remove_reroute(id);
+            } else {
+                self.outstanding.push((owner, id));
+            }
+        }
+        let withdrawn = self.table.clear_peer(peer);
+        self.forwarding
+            .refresh_prefixes(&self.table, &self.policy, withdrawn.iter().copied());
+        (rules_removed, withdrawn.len())
     }
 
     /// Safety check (Lemma 3.3): returns the prefixes among `predicted` whose
@@ -272,5 +326,100 @@ impl Applier {
             })
             .copied()
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_bgp::{AsPath, RouteAttributes};
+
+    fn p(i: u32) -> Prefix {
+        Prefix::nth_slash24(i)
+    }
+
+    /// Primary peer 1 (LOCAL_PREF 200) and backup peer 2, both announcing the
+    /// same `n` prefixes over disjoint AS hierarchies.
+    fn two_peer_table(n: u32) -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.add_peer(PeerId(1), Asn(1));
+        t.add_peer(PeerId(2), Asn(2));
+        for i in 0..n {
+            let mut attrs = RouteAttributes::from_path(AsPath::new([1u32, 100, 200]));
+            attrs.local_pref = Some(200);
+            t.announce(PeerId(1), p(i), Route::new(PeerId(1), attrs, 0));
+            t.announce(
+                PeerId(2),
+                p(i),
+                Route::new(
+                    PeerId(2),
+                    RouteAttributes::from_path(AsPath::new([2u32, 300 + i % 5])),
+                    0,
+                ),
+            );
+        }
+        t
+    }
+
+    fn primary_routes(table: &RoutingTable, peer: PeerId) -> Vec<(Prefix, Route)> {
+        table
+            .adj_rib_in(peer)
+            .unwrap()
+            .iter()
+            .map(|(prefix, route)| (*prefix, route.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn teardown_reroutes_forwarding_to_survivors_and_register_restores() {
+        let table = two_peer_table(60);
+        let routes = primary_routes(&table, PeerId(1));
+        let mut applier = Applier::new(
+            SwiftConfig::default(),
+            table,
+            crate::encoding::ReroutingPolicy::allow_all(),
+        );
+        assert_eq!(applier.forwarding_next_hop(&p(0)), Some(PeerId(1)));
+
+        let (rules, withdrawn) = applier.teardown_session(PeerId(1));
+        assert_eq!(rules, 0, "no inference had installed rules");
+        assert_eq!(withdrawn, 60);
+        assert_eq!(applier.table().adj_rib_in(PeerId(1)).unwrap().len(), 0);
+        // Stage 1 was retagged: traffic forwards via the surviving peer.
+        assert_eq!(applier.forwarding_next_hop(&p(0)), Some(PeerId(2)));
+
+        // Re-registration restores the session as primary.
+        let announced = applier.register_session(PeerId(1), Asn(1), routes);
+        assert_eq!(announced, 60);
+        assert_eq!(applier.forwarding_next_hop(&p(0)), Some(PeerId(1)));
+        assert_eq!(applier.table().adj_rib_in(PeerId(1)).unwrap().len(), 60);
+    }
+
+    #[test]
+    fn deferred_teardown_folds_pending_events_first() {
+        let table = two_peer_table(40);
+        let mut applier = Applier::new(
+            SwiftConfig::default(),
+            table,
+            crate::encoding::ReroutingPolicy::allow_all(),
+        )
+        .with_deferred_rib();
+        // Buffer a withdrawal on the *backup* session, then tear the primary
+        // down: the fold must happen before the retag, so the withdrawn
+        // backup route is not resurrected as the new next-hop.
+        applier.note_event(
+            PeerId(2),
+            &ElementaryEvent::Withdraw {
+                timestamp: 0,
+                prefix: p(0),
+            },
+        );
+        assert_eq!(applier.pending_events(), 1);
+        let (_, withdrawn) = applier.teardown_session(PeerId(1));
+        assert_eq!(withdrawn, 40);
+        assert_eq!(applier.pending_events(), 0, "teardown folded the buffer");
+        // p(0) lost both routes; every other prefix falls back to peer 2.
+        assert_eq!(applier.forwarding_next_hop(&p(0)), None);
+        assert_eq!(applier.forwarding_next_hop(&p(1)), Some(PeerId(2)));
     }
 }

@@ -68,7 +68,7 @@ use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use swift_bgp::{ElementaryEvent, PeerId, RoutingTable};
+use swift_bgp::{Asn, ElementaryEvent, InternedRib, PeerId, Prefix, Route, RoutingTable};
 use swift_core::encoding::ReroutingPolicy;
 use swift_core::inference::EngineStatus;
 use swift_core::metrics::{LatencyRecorder, LatencySummary};
@@ -143,7 +143,8 @@ impl RuntimeConfig {
 pub struct ShardMetrics {
     /// Shard index.
     pub shard: usize,
-    /// Sessions hashed onto this shard.
+    /// Sessions homed on this shard (the larger of the initial and final
+    /// count, under mid-run session churn).
     pub sessions: usize,
     /// Events processed.
     pub events: u64,
@@ -246,6 +247,8 @@ enum Mode {
 /// discards the report.
 pub struct ShardedRuntime {
     config: RuntimeConfig,
+    /// Kept for seeding the engines of sessions registered mid-run.
+    swift: SwiftConfig,
     mode: Option<Mode>,
     events: u64,
     started: Option<Instant>,
@@ -264,9 +267,10 @@ impl ShardedRuntime {
     ) -> Self {
         let engines = session_engines(&swift, &table);
         if config.shards == 0 {
-            let applier = Applier::new(swift, table, policy);
+            let applier = Applier::new(swift.clone(), table, policy);
             return ShardedRuntime {
                 config,
+                swift,
                 mode: Some(Mode::Inline(Box::new(Inline { engines, applier }))),
                 events: 0,
                 started: None,
@@ -281,7 +285,7 @@ impl ShardedRuntime {
             partitions[shard_of(peer, shards)].insert(peer, engine);
         }
 
-        let applier = Applier::new(swift, table, policy).with_deferred_rib();
+        let applier = Applier::new(swift.clone(), table, policy).with_deferred_rib();
         let (applier_tx, applier_rx) = mpsc::sync_channel(config.applier_capacity.max(1));
         let (barrier_tx, barrier_rx) = mpsc::channel();
         let latency_window = config.latency_window;
@@ -327,6 +331,7 @@ impl ShardedRuntime {
                 dropped: vec![0; shards],
             }))),
             config,
+            swift,
             events: 0,
             started: None,
         }
@@ -370,12 +375,7 @@ impl ShardedRuntime {
                     ingest: Instant::now(),
                 });
                 if sharded.buffers[shard].len() >= self.config.batch_size {
-                    Self::dispatch(
-                        sharded,
-                        shard,
-                        self.config.batch_size,
-                        self.config.backpressure,
-                    );
+                    Self::dispatch(sharded, shard, &self.config);
                 }
             }
         }
@@ -391,39 +391,110 @@ impl ShardedRuntime {
         }
     }
 
+    /// Registers (or re-registers) a peering session while the runtime is
+    /// live: a fresh [`SessionEngine`] seeded from `routes` is installed on
+    /// the session's home shard, and the applier adds the peer and its routes
+    /// to the serialized routing state (retagging the touched stage-1
+    /// entries).
+    ///
+    /// The operation is ordered **in-band** with [`ShardedRuntime::ingest`]:
+    /// events ingested on this session before the call are processed by the
+    /// old engine (if any), events after it by the new one — in both inline
+    /// and sharded mode, which is what keeps per-session decisions identical
+    /// across modes under churn. Lifecycle messages are never shed, even
+    /// under [`BackpressurePolicy::DropNewest`].
+    pub fn register_session<I>(&mut self, peer: PeerId, asn: Asn, routes: I)
+    where
+        I: IntoIterator<Item = (Prefix, Route)>,
+    {
+        let routes: Vec<(Prefix, Route)> = routes.into_iter().collect();
+        let mut rib = InternedRib::new();
+        for (prefix, route) in &routes {
+            rib.push(*prefix, route.as_path());
+        }
+        let engine = SessionEngine::from_interned(peer, &self.swift, &rib);
+        match self.mode.as_mut().expect("runtime live") {
+            Mode::Inline(inline) => {
+                inline.engines.insert(peer, engine);
+                inline.applier.register_session(peer, asn, routes);
+            }
+            Mode::Sharded(sharded) => {
+                let shard = shard_of(peer, self.config.shards);
+                Self::dispatch(sharded, shard, &self.config);
+                sharded.shard_txs[shard]
+                    .send(ShardMsg::Register(Box::new(worker::SessionRegistration {
+                        peer,
+                        asn,
+                        engine,
+                        routes,
+                    })))
+                    .expect("shard thread alive");
+            }
+        }
+    }
+
+    /// Tears a peering session down while the runtime is live: the session's
+    /// engine is dropped on its home shard and the applier removes the
+    /// departed peer's SWIFT rules and RIB-mirror routes (retagging the
+    /// prefixes it served). The peer stays known, so it can re-establish via
+    /// [`ShardedRuntime::register_session`].
+    ///
+    /// Ordered in-band with `ingest`, like `register_session`. Events
+    /// ingested for the session after this call (and before a re-register)
+    /// flow through without an engine, exactly like an unknown session's.
+    pub fn teardown_session(&mut self, peer: PeerId) {
+        match self.mode.as_mut().expect("runtime live") {
+            Mode::Inline(inline) => {
+                inline.engines.remove(&peer);
+                inline.applier.teardown_session(peer);
+            }
+            Mode::Sharded(sharded) => {
+                let shard = shard_of(peer, self.config.shards);
+                Self::dispatch(sharded, shard, &self.config);
+                sharded.shard_txs[shard]
+                    .send(ShardMsg::Teardown(peer))
+                    .expect("shard thread alive");
+            }
+        }
+    }
+
     /// Sends shard `shard`'s buffered batch, honouring the backpressure
     /// policy. (Associated fn, not a method: callers hold `&mut` pieces.)
-    fn dispatch(
-        sharded: &mut Sharded,
-        shard: usize,
-        batch_capacity: usize,
-        policy: BackpressurePolicy,
-    ) {
+    ///
+    /// The queue high-water mark is recorded only once the batch is actually
+    /// enqueued — a batch shed under [`BackpressurePolicy::DropNewest`] never
+    /// occupied a queue slot, so it must not raise the reported mark. The
+    /// depth counter is decremented by the worker on receive, so it can
+    /// transiently over-read by the one batch the worker is unpacking; the
+    /// recorded mark is clamped to the queue's physical capacity.
+    fn dispatch(sharded: &mut Sharded, shard: usize, config: &RuntimeConfig) {
         if sharded.buffers[shard].is_empty() {
             return;
         }
         let batch = std::mem::replace(
             &mut sharded.buffers[shard],
-            Vec::with_capacity(batch_capacity),
+            Vec::with_capacity(config.batch_size),
         );
         let new_depth = sharded.depth[shard].fetch_add(1, Ordering::Relaxed) + 1;
-        sharded.max_depth[shard] = sharded.max_depth[shard].max(new_depth);
-        match policy {
+        let high_water = new_depth.min(config.queue_capacity.max(1));
+        match config.backpressure {
             BackpressurePolicy::Block => {
                 sharded.shard_txs[shard]
                     .send(ShardMsg::Batch(batch))
                     .expect("shard thread alive");
+                sharded.max_depth[shard] = sharded.max_depth[shard].max(high_water);
             }
             BackpressurePolicy::DropNewest => {
-                if let Err(err) = sharded.shard_txs[shard].try_send(ShardMsg::Batch(batch)) {
-                    match err {
-                        TrySendError::Full(ShardMsg::Batch(batch)) => {
-                            sharded.depth[shard].fetch_sub(1, Ordering::Relaxed);
-                            sharded.dropped[shard] += batch.len() as u64;
-                        }
-                        TrySendError::Full(_) | TrySendError::Disconnected(_) => {
-                            panic!("shard thread gone")
-                        }
+                match sharded.shard_txs[shard].try_send(ShardMsg::Batch(batch)) {
+                    Ok(()) => {
+                        sharded.max_depth[shard] = sharded.max_depth[shard].max(high_water);
+                    }
+                    Err(TrySendError::Full(ShardMsg::Batch(batch))) => {
+                        sharded.depth[shard].fetch_sub(1, Ordering::Relaxed);
+                        sharded.dropped[shard] += batch.len() as u64;
+                    }
+                    Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                        panic!("shard thread gone")
                     }
                 }
             }
@@ -433,16 +504,12 @@ impl ShardedRuntime {
     /// Flushes every buffered batch and blocks until all shards *and* the
     /// applier have fully processed everything ingested so far.
     pub fn flush(&mut self) {
-        let (batch_size, policy, shards) = (
-            self.config.batch_size,
-            self.config.backpressure,
-            self.config.shards,
-        );
+        let shards = self.config.shards;
         match self.mode.as_mut().expect("runtime live") {
             Mode::Inline(_) => {}
             Mode::Sharded(sharded) => {
                 for shard in 0..shards {
-                    Self::dispatch(sharded, shard, batch_size, policy);
+                    Self::dispatch(sharded, shard, &self.config);
                 }
                 let seq = sharded.next_barrier;
                 sharded.next_barrier += 1;
@@ -516,9 +583,8 @@ impl ShardedRuntime {
                 })
             }
             Mode::Sharded(mut sharded) => {
-                let (batch_size, policy) = (self.config.batch_size, self.config.backpressure);
                 for shard in 0..self.config.shards {
-                    Self::dispatch(&mut sharded, shard, batch_size, policy);
+                    Self::dispatch(&mut sharded, shard, &self.config);
                 }
                 for tx in &sharded.shard_txs {
                     let _ = tx.send(ShardMsg::Shutdown);
@@ -794,6 +860,201 @@ mod tests {
             u64::from(peers * n),
             "every event is either processed or counted as dropped"
         );
+    }
+
+    #[test]
+    fn drop_newest_high_water_stays_within_queue_capacity() {
+        // Saturate tiny queues so batches are provably shed, then check the
+        // reported high-water: a dropped batch never occupied a queue slot,
+        // so the mark must not exceed the channel capacity (the pre-fix code
+        // bumped the mark before the failed try_send and reported
+        // capacity + k).
+        let peers = 2u32;
+        let n = 2_000u32;
+        let queue_capacity = 1usize;
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig {
+                batch_size: 2,
+                queue_capacity,
+                applier_capacity: 1,
+                backpressure: BackpressurePolicy::DropNewest,
+                ..RuntimeConfig::sharded(2)
+            },
+            config(),
+            multi_table(peers, n),
+            ReroutingPolicy::allow_all(),
+        );
+        runtime.ingest_stream(interleaved_bursts(peers, n));
+        let report = runtime.finish();
+        assert!(
+            report.metrics.dropped > 0,
+            "the run must actually saturate for this regression test to bite"
+        );
+        for m in &report.metrics.per_shard {
+            assert!(
+                m.max_queue_depth <= queue_capacity,
+                "shard {} reports max_queue_depth {} > queue capacity {queue_capacity}",
+                m.shard,
+                m.max_queue_depth
+            );
+        }
+    }
+
+    #[test]
+    fn flush_on_empty_runtime_and_double_flush() {
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig::sharded(2),
+            config(),
+            multi_table(2, 60),
+            ReroutingPolicy::allow_all(),
+        );
+        // Nothing ingested: the barrier round-trips through every shard and
+        // the applier without deadlock.
+        runtime.flush();
+        // Barriers are sequenced, so immediate re-flush (nothing in between)
+        // and flush-after-work both complete.
+        runtime.flush();
+        runtime.ingest_stream(interleaved_bursts(2, 60));
+        runtime.flush();
+        runtime.flush();
+        let report = runtime.finish();
+        assert_eq!(report.metrics.events, 120);
+        assert_eq!(report.metrics.dropped, 0);
+    }
+
+    #[test]
+    fn flush_completes_after_dropped_batches() {
+        let peers = 2u32;
+        let n = 1_000u32;
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig {
+                batch_size: 2,
+                queue_capacity: 1,
+                applier_capacity: 1,
+                backpressure: BackpressurePolicy::DropNewest,
+                ..RuntimeConfig::sharded(2)
+            },
+            config(),
+            multi_table(peers, n),
+            ReroutingPolicy::allow_all(),
+        );
+        runtime.ingest_stream(interleaved_bursts(peers, n));
+        // The barrier is sent with a blocking send even under DropNewest, so
+        // the flush must drain everything still queued and return.
+        runtime.flush();
+        runtime.flush();
+        let report = runtime.finish();
+        let processed: u64 = report.metrics.per_shard.iter().map(|m| m.events).sum();
+        assert_eq!(processed + report.metrics.dropped, u64::from(peers * n));
+    }
+
+    /// Drives a two-burst run with a mid-run teardown + re-register of peer 2
+    /// between the bursts.
+    fn run_with_churn(shards: usize, peers: u32, n: u32) -> RuntimeReport {
+        let table = multi_table(peers, n);
+        let routes: Vec<(Prefix, Route)> = table
+            .adj_rib_in(PeerId(2))
+            .unwrap()
+            .iter()
+            .map(|(prefix, route)| (*prefix, route.clone()))
+            .collect();
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig {
+                batch_size: 16,
+                ..RuntimeConfig::sharded(shards)
+            },
+            config(),
+            table,
+            ReroutingPolicy::allow_all(),
+        );
+        runtime.ingest_stream(interleaved_bursts(peers, n));
+        runtime.resync_after_convergence();
+        runtime.teardown_session(PeerId(2));
+        runtime.register_session(PeerId(2), Asn(2), routes);
+        // Second burst on the re-registered session only: its fresh engine
+        // sees the full RIB again and must re-infer.
+        runtime.ingest_stream((0..n).map(|i| {
+            (
+                PeerId(2),
+                ElementaryEvent::Withdraw {
+                    timestamp: 1_000_000_000 + u64::from(i) * 1_000,
+                    prefix: p(n + i),
+                },
+            )
+        }));
+        runtime.finish()
+    }
+
+    #[test]
+    fn session_churn_reaches_identical_decisions_across_modes() {
+        let peers = 3u32;
+        let n = 200u32;
+        let baseline = run_with_churn(0, peers, n);
+        // Both lives of peer 2 produced a reroute: one per burst.
+        assert_eq!(
+            baseline.actions_for(PeerId(2)).len(),
+            2,
+            "one reroute per life of the flapped session"
+        );
+        for shards in [1usize, 2, 3] {
+            let report = run_with_churn(shards, peers, n);
+            assert_eq!(report.metrics.dropped, 0);
+            for s in 0..peers {
+                let peer = PeerId(s + 1);
+                let got = report.actions_for(peer);
+                let want = baseline.actions_for(peer);
+                assert_eq!(got.len(), want.len(), "session {peer:?} @ {shards} shards");
+                for (a, b) in got.iter().zip(want.iter()) {
+                    assert_eq!(a.time, b.time);
+                    assert_eq!(a.links, b.links);
+                    assert_eq!(a.predicted, b.predicted);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn teardown_cleans_rules_and_rib_mirror() {
+        let peers = 2u32;
+        let n = 200u32;
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig::deterministic(),
+            config(),
+            multi_table(peers, n),
+            ReroutingPolicy::allow_all(),
+        );
+        runtime.ingest_stream(interleaved_bursts(peers, n));
+        let report_rules = {
+            // Both sessions' bursts installed rules; tearing peer 2 down must
+            // remove exactly its rules and routes while peer 1's survive.
+            runtime.teardown_session(PeerId(2));
+            let report = runtime.finish();
+            assert_eq!(
+                report
+                    .applier()
+                    .table()
+                    .adj_rib_in(PeerId(2))
+                    .unwrap()
+                    .len(),
+                0,
+                "departed peer's RIB mirror is empty"
+            );
+            // The shared backup peer's routes were never withdrawn — a
+            // teardown of peer 2 must not touch them.
+            assert_eq!(
+                report
+                    .applier()
+                    .table()
+                    .adj_rib_in(PeerId(1_000))
+                    .unwrap()
+                    .len(),
+                (peers * n) as usize,
+                "surviving peers' RIB mirrors are intact"
+            );
+            assert_eq!(report.actions.len(), peers as usize, "history is kept");
+            report.applier().forwarding().swift_rule_count()
+        };
+        assert!(report_rules > 0, "peer 1's reroute rules survive");
     }
 
     #[test]

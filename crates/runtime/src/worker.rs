@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use swift_bgp::{ElementaryEvent, PeerId};
+use swift_bgp::{Asn, ElementaryEvent, PeerId, Prefix, Route};
 use swift_core::inference::{EngineStatus, InferenceResult};
 use swift_core::metrics::LatencyRecorder;
 use swift_core::pipeline::{Applier, SessionEngine};
@@ -38,10 +38,26 @@ pub(crate) struct IngestEvent {
 pub(crate) enum ShardMsg {
     /// A batch of events for this shard's sessions.
     Batch(Vec<IngestEvent>),
+    /// A session (re-)registration: the shard adopts the engine and forwards
+    /// the routing-state half to the applier in-band.
+    Register(Box<SessionRegistration>),
+    /// A session teardown: the shard drops the engine and forwards the
+    /// cleanup request to the applier in-band.
+    Teardown(PeerId),
     /// Flush marker: forward an ack to the applier and keep going.
     Barrier(u64),
     /// Drain and exit.
     Shutdown,
+}
+
+/// Everything a mid-run session registration carries: the engine half for the
+/// session's home shard and the routing-state half for the applier.
+#[derive(Debug)]
+pub(crate) struct SessionRegistration {
+    pub peer: PeerId,
+    pub asn: Asn,
+    pub engine: SessionEngine,
+    pub routes: Vec<(Prefix, Route)>,
 }
 
 /// One event after engine processing, on its way to the applier.
@@ -59,6 +75,16 @@ pub(crate) struct ProcessedEvent {
 pub(crate) enum ApplierMsg {
     /// Processed events from one shard, in that shard's order.
     Batch(Vec<ProcessedEvent>),
+    /// Routing-state half of a session registration (forwarded by the
+    /// session's home shard, so it is ordered with the session's events).
+    Register {
+        peer: PeerId,
+        asn: Asn,
+        routes: Vec<(Prefix, Route)>,
+    },
+    /// Routing-state half of a session teardown: remove the departed peer's
+    /// SWIFT rules and RIB-mirror routes.
+    Teardown(PeerId),
     /// Barrier ack from one shard (the barrier's sequence number).
     Barrier(u64),
     /// Reconvergence resync request (sent by the controller after a flush);
@@ -142,6 +168,27 @@ pub(crate) fn shard_loop(
                     break 'outer; // applier gone; nothing left to do
                 }
             }
+            ShardMsg::Register(reg) => {
+                let SessionRegistration {
+                    peer,
+                    asn,
+                    engine,
+                    routes,
+                } = *reg;
+                engines.insert(peer, engine);
+                if applier_tx
+                    .send(ApplierMsg::Register { peer, asn, routes })
+                    .is_err()
+                {
+                    break 'outer;
+                }
+            }
+            ShardMsg::Teardown(peer) => {
+                engines.remove(&peer);
+                if applier_tx.send(ApplierMsg::Teardown(peer)).is_err() {
+                    break 'outer;
+                }
+            }
             ShardMsg::Barrier(seq) => {
                 if applier_tx.send(ApplierMsg::Barrier(seq)).is_err() {
                     break 'outer;
@@ -153,7 +200,7 @@ pub(crate) fn shard_loop(
     let _ = applier_tx.send(ApplierMsg::ShardDone);
     ShardWorkerReport {
         shard,
-        sessions,
+        sessions: sessions.max(engines.len()),
         events,
         batches,
         latency,
@@ -190,6 +237,12 @@ pub(crate) fn applier_loop(
                         reroute_latency.record(processed.ingest.elapsed().as_micros() as u64);
                     }
                 }
+            }
+            ApplierMsg::Register { peer, asn, routes } => {
+                applier.register_session(peer, asn, routes);
+            }
+            ApplierMsg::Teardown(peer) => {
+                applier.teardown_session(peer);
             }
             ApplierMsg::Barrier(seq) => {
                 let acks = barrier_acks.entry(seq).or_insert(0);

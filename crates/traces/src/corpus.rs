@@ -167,9 +167,48 @@ pub struct SessionTrace {
 /// per-link prefix index used when materialising bursts.
 type RibParts = (InternedRib, PrefixSet, BTreeMap<AsLink, Vec<Prefix>>);
 
+/// Prefix-index spacing between sessions: session `k` announces prefixes
+/// `[k * SPACING, k * SPACING + table_size)`. The spacing keeps every
+/// session's prefix space disjoint *and* inside the injective range of
+/// [`Prefix::nth_slash24`] (`i < 2^24 - 2^16`) for up to 254 sessions
+/// (enforced by [`Corpus::generate`]) — a requirement of the corpus-wide
+/// vantage table the soak replay builds, where all sessions' RIBs coexist in
+/// one router.
+pub const SESSION_PREFIX_SPACING: u32 = 65_536;
+
+/// One session's materialised Adj-RIB-In plus the burst-building index — the
+/// memory-lean handle [`Corpus::materialize_burst`] expands bursts from, so a
+/// streaming replay can hold every session's RIB without holding any burst's
+/// message stream.
+#[derive(Debug, Clone)]
+pub struct SessionRib {
+    /// The session this RIB belongs to.
+    pub peer: PeerId,
+    /// The peer's AS number.
+    pub peer_asn: Asn,
+    /// The Adj-RIB-In (interned paths).
+    pub rib: InternedRib,
+    /// The session's popular prefixes.
+    pub popular: PrefixSet,
+    link_prefixes: BTreeMap<AsLink, Vec<Prefix>>,
+}
+
 impl Corpus {
     /// Draws the corpus catalog.
     pub fn generate(config: TraceConfig) -> Self {
+        assert!(
+            config.table_size <= SESSION_PREFIX_SPACING as usize,
+            "table_size {} exceeds the per-session prefix space {SESSION_PREFIX_SPACING}",
+            config.table_size
+        );
+        // Keep every session's block inside nth_slash24's injective range
+        // (i < 2^24 - 2^16): the last session's top index is
+        // num_peers * SPACING + SPACING - 1, which fits iff num_peers <= 254.
+        assert!(
+            config.num_peers <= 254,
+            "num_peers {} would alias prefix spaces across sessions (max 254)",
+            config.num_peers
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut sessions = Vec::with_capacity(config.num_peers);
         for i in 0..config.num_peers {
@@ -236,20 +275,44 @@ impl Corpus {
         self.sessions.iter().map(|s| s.bursts.len()).sum()
     }
 
+    /// Materialises one session's RIB (with the per-link index bursts are
+    /// built from) **without** materialising any burst's message stream —
+    /// the entry point of the streaming soak replay, which expands bursts
+    /// one at a time with [`Corpus::materialize_burst`].
+    pub fn session_rib(&self, idx: usize) -> SessionRib {
+        let meta = &self.sessions[idx];
+        let mut rng = StdRng::seed_from_u64(meta.seed);
+        let (rib, popular, link_prefixes) = self.build_rib(meta, &mut rng);
+        SessionRib {
+            peer: meta.peer,
+            peer_asn: meta.peer_asn,
+            rib,
+            popular,
+            link_prefixes,
+        }
+    }
+
+    /// Materialises one burst from its catalog entry and the session's
+    /// already-built [`SessionRib`]. Deterministic from the catalog alone
+    /// (each burst carries its own seed), so bursts can be expanded lazily,
+    /// in any order, and dropped after replay.
+    pub fn materialize_burst(&self, rib: &SessionRib, meta: &BurstMeta) -> MaterializedBurst {
+        self.build_burst(meta, &rib.rib, &rib.popular, &rib.link_prefixes)
+    }
+
     /// Materialises one session: its RIB and every burst's message stream.
     pub fn materialize_session(&self, idx: usize) -> SessionTrace {
         let meta = self.sessions[idx].clone();
-        let mut rng = StdRng::seed_from_u64(meta.seed);
-        let (rib, popular, link_prefixes) = self.build_rib(&meta, &mut rng);
+        let session_rib = self.session_rib(idx);
         let bursts = meta
             .bursts
             .iter()
-            .map(|b| self.build_burst(b, &rib, &popular, &link_prefixes))
+            .map(|b| self.materialize_burst(&session_rib, b))
             .collect();
         SessionTrace {
             meta,
-            rib,
-            popular,
+            rib: session_rib.rib,
+            popular: session_rib.popular,
             bursts,
         }
     }
@@ -277,7 +340,9 @@ impl Corpus {
 
         let mut rib = InternedRib::new();
         let mut link_prefixes: BTreeMap<AsLink, Vec<Prefix>> = BTreeMap::new();
-        let prefix_base = meta.peer.0 * 1_000_000;
+        // Disjoint per-session prefix spaces within nth_slash24's injective
+        // range — see [`SESSION_PREFIX_SPACING`].
+        let prefix_base = meta.peer.0 * SESSION_PREFIX_SPACING;
 
         for i in 0..n {
             let prefix = Prefix::nth_slash24(prefix_base + i as u32);

@@ -10,7 +10,11 @@
 //! * [`extract`] — the sliding-window burst extraction of §2.2.1;
 //! * [`interleave`] — multi-session interleaved streams (per-session stream
 //!   merging and the synthetic concurrent-burst workload the sharded runtime
-//!   is benchmarked on).
+//!   is benchmarked on);
+//! * [`soak`] — the streaming corpus-scale replay: a lazy k-way merge of
+//!   every session's bursts with session up/down lifecycle markers and
+//!   convergence points, sized so the full month-long corpus flows through
+//!   without materialising every message stream.
 //!
 //! The corpus consumes and produces only `swift-bgp` types, so everything that
 //! runs on it (the SWIFT inference engine in particular) exercises exactly the
@@ -23,8 +27,14 @@ pub mod corpus;
 pub mod extract;
 pub mod interleave;
 pub mod model;
+pub mod soak;
 
-pub use corpus::{BurstMeta, Corpus, MaterializedBurst, SessionMeta, SessionTrace, TraceConfig};
+pub use corpus::{
+    BurstMeta, Corpus, MaterializedBurst, SessionMeta, SessionRib, SessionTrace, TraceConfig,
+};
 pub use extract::{extract_bursts, extract_from_times, ExtractConfig, ExtractedBurst};
 pub use interleave::{interleave_streams, InterleavedEvent, MultiSessionConfig, MultiSessionTrace};
 pub use model::{BurstRateModel, BurstShape, BurstSizeModel};
+pub use soak::{
+    pick_feasible_flaps, ReplayItem, SoakConfig, SoakReplay, SOAK_BACKUP_A, SOAK_BACKUP_B,
+};
