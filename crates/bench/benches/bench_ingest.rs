@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks of the runtime's ingest dispatch path: what
+//! one event costs between the wire and the shard queue.
+//!
+//! Three comparisons:
+//!
+//! * **stamp** — the per-event timestamp alone: a syscall-backed
+//!   `Instant::now()` (the pre-`IngestHandle` runtime stamped every event
+//!   this way) vs an atomic load of the coarse epoch clock;
+//! * **dispatch** — the full ingest → shard-queue path through a real
+//!   sharded runtime, with the clock refreshed every event
+//!   (`clock_refresh_interval = 1`, the old per-event-`now` behaviour) vs
+//!   the batched coarse-clock default;
+//! * **producers** — the same event volume pushed by 1 vs 2 concurrent
+//!   `IngestHandle`s, the serialized-funnel-vs-multi-producer comparison.
+//!
+//! Run with `-- --quick-check` (CI) to execute every body once instead of
+//! timing it — a rot check for the harness, not a measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use swift_bgp::{ElementaryEvent, PeerId, Prefix, RoutingTable};
+use swift_core::encoding::ReroutingPolicy;
+use swift_core::SwiftConfig;
+use swift_runtime::{RuntimeConfig, ShardedRuntime};
+
+const EVENTS: u32 = 50_000;
+
+/// Withdrawals on sessions the runtime has no engines for: the dispatch path
+/// is exercised end to end while the downstream engine work stays ~zero, so
+/// the numbers isolate the front-end.
+fn events(sessions: u32) -> Vec<(PeerId, ElementaryEvent)> {
+    (0..EVENTS)
+        .map(|i| {
+            (
+                PeerId(1 + i % sessions),
+                ElementaryEvent::Withdraw {
+                    timestamp: u64::from(i) * 1_000,
+                    prefix: Prefix::nth_slash24(i % 10_000),
+                },
+            )
+        })
+        .collect()
+}
+
+fn runtime(clock_refresh_interval: usize) -> ShardedRuntime {
+    ShardedRuntime::new(
+        RuntimeConfig {
+            clock_refresh_interval,
+            ..RuntimeConfig::sharded(1)
+        },
+        SwiftConfig::default(),
+        RoutingTable::new(),
+        ReroutingPolicy::allow_all(),
+    )
+}
+
+/// The per-event stamp alone: syscall clock vs coarse atomic clock.
+fn bench_stamp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest/stamp_per_event");
+    group.bench_function("instant_now", |b| {
+        // One clock read per event, like the old per-event ingest stamp: the
+        // nanos are taken against a fixed base instant (`.elapsed()` on a
+        // fresh `Instant::now()` would read the clock twice).
+        let base = Instant::now();
+        b.iter(|| {
+            let mut acc = 0u128;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(std::hint::black_box(base.elapsed()).as_nanos());
+            }
+            acc
+        })
+    });
+    group.bench_function("coarse_atomic_load", |b| {
+        let epoch = AtomicU64::new(42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(std::hint::black_box(&epoch).load(Ordering::Relaxed));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// The full dispatch path, ingest → shard queue → drained, 50k events.
+fn bench_dispatch(c: &mut Criterion) {
+    let stream = events(8);
+    let mut group = c.benchmark_group("ingest/dispatch_50k");
+    group.bench_function("refresh_every_event", |b| {
+        b.iter(|| {
+            let mut rt = runtime(1);
+            rt.ingest_stream(stream.iter().cloned());
+            rt.finish().metrics.events
+        })
+    });
+    group.bench_function("batched_coarse_clock", |b| {
+        b.iter(|| {
+            let mut rt = runtime(256);
+            rt.ingest_stream(stream.iter().cloned());
+            rt.finish().metrics.events
+        })
+    });
+    group.finish();
+}
+
+/// The same volume from 1 vs 2 producer handles (sessions disjoint).
+fn bench_producers(c: &mut Criterion) {
+    let stream = events(8);
+    let split: Vec<Vec<(PeerId, ElementaryEvent)>> = {
+        let mut sources = vec![Vec::new(), Vec::new()];
+        for (peer, event) in &stream {
+            sources[(peer.0 as usize - 1) % 2].push((*peer, event.clone()));
+        }
+        sources
+    };
+    let mut group = c.benchmark_group("ingest/producers_50k");
+    group.bench_function("one_handle", |b| {
+        b.iter(|| {
+            let rt = runtime(256);
+            let mut handle = rt.handle();
+            handle.ingest_stream(stream.iter().cloned());
+            handle.finish();
+            rt.finish().metrics.events
+        })
+    });
+    group.bench_function("two_handles", |b| {
+        b.iter(|| {
+            let rt = runtime(256);
+            std::thread::scope(|scope| {
+                for source in &split {
+                    let mut handle = rt.handle();
+                    scope.spawn(move || {
+                        handle.ingest_stream(source.iter().cloned());
+                        handle.finish();
+                    });
+                }
+            });
+            rt.finish().metrics.events
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stamp, bench_dispatch, bench_producers);
+criterion_main!(benches);

@@ -8,7 +8,11 @@
 //!   at a time on one thread;
 //! * the **deterministic runtime** — `ShardedRuntime` with zero shards, to
 //!   show the shared pipeline adds no overhead and is bit-identical;
-//! * the **sharded runtime** at each requested shard count.
+//! * the **sharded runtime** at each requested shard count — from one
+//!   producer by default, or from `--ingest-threads N` concurrent producer
+//!   threads (each owning a `swift_runtime::IngestHandle` fed one source of
+//!   `MultiSessionTrace::partition_sources`, sessions disjoint across
+//!   sources).
 //!
 //! Reported per configuration: pipeline wall time (ingest → all reroute rules
 //! installed), events/s, speedup vs the baseline, reroute latency p50/p99,
@@ -23,10 +27,11 @@
 //! The ≥4× @ 8-shard target assumes ≥8 physical cores; the harness prints the
 //! available parallelism so CI boxes with fewer cores read as what they are.
 //!
-//! Usage: `exp_concurrency [--smoke] [--shards 1,2,4,8]`
+//! Usage: `exp_concurrency [--smoke] [--shards 1,2,4,8] [--ingest-threads N]`
 //!   `--smoke` runs a reduced sweep with scaled-down thresholds (used by CI).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
+use swift_bench::harness::{available_cores, mode_line, secs, ExpArgs};
 use swift_bench::per_session_decisions;
 use swift_bgp::{ElementaryEvent, PeerId};
 use swift_core::encoding::ReroutingPolicy;
@@ -41,28 +46,22 @@ struct Sweep {
     burst: usize,
 }
 
-fn secs(d: Duration) -> f64 {
-    d.as_secs_f64()
-}
-
 /// The session peers of a sweep point (ids 1..=sessions).
 fn session_peers(sessions: usize) -> impl Iterator<Item = PeerId> {
     (1..=sessions as u32).map(PeerId)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let shard_counts: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--shards")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| {
-            s.split(',')
-                .map(|n| n.parse().expect("--shards takes a comma-separated list"))
-                .collect()
-        })
-        .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] });
+    let args = ExpArgs::parse();
+    let smoke = args.flag("--smoke");
+    let ingest_threads = args.usize_value("--ingest-threads", 1).max(1);
+    let shard_counts: Vec<usize> = args.usize_list("--shards").unwrap_or_else(|| {
+        if smoke {
+            vec![1, 2]
+        } else {
+            vec![1, 2, 4, 8]
+        }
+    });
 
     // Smoke scales the thresholds with the table so CI exercises the full
     // accept path; the full sweep uses the paper's defaults.
@@ -109,11 +108,9 @@ fn main() {
         ]
     };
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = available_cores();
     println!("exp_concurrency — sharded multi-session runtime vs single-threaded baseline");
-    println!("available parallelism: {cores} core(s)\n");
+    println!("available parallelism: {cores} core(s), ingest-threads: {ingest_threads}\n");
 
     for sweep in &sweeps {
         let trace_config = MultiSessionConfig {
@@ -181,6 +178,14 @@ fn main() {
         );
 
         // --- Sharded runtime ---------------------------------------------
+        // Pre-split the stream outside the timed window: the single-producer
+        // leg streams pre-materialised `events` too, so both modes' timed
+        // spans cover dispatch only, not corpus cloning.
+        let sources = if ingest_threads > 1 {
+            trace.partition_sources(ingest_threads)
+        } else {
+            Vec::new()
+        };
         for &shards in &shard_counts {
             let mut runtime = ShardedRuntime::new(
                 RuntimeConfig::sharded(shards),
@@ -189,7 +194,22 @@ fn main() {
                 ReroutingPolicy::allow_all(),
             );
             let t0 = Instant::now();
-            runtime.ingest_stream(events.iter().cloned());
+            if ingest_threads > 1 {
+                // Each producer thread owns one handle and one disjoint
+                // session partition — the pinning rule that keeps
+                // per-session order (and therefore decisions) intact.
+                std::thread::scope(|scope| {
+                    for source in &sources {
+                        let mut handle = runtime.handle();
+                        scope.spawn(move || {
+                            handle.ingest_stream(source.iter().cloned());
+                            handle.finish();
+                        });
+                    }
+                });
+            } else {
+                runtime.ingest_stream(events.iter().cloned());
+            }
             runtime.flush();
             let pipeline = t0.elapsed();
             let t1 = Instant::now();
@@ -198,29 +218,24 @@ fn main() {
             let report = runtime.finish();
 
             assert_eq!(report.metrics.dropped, 0, "lossless under Block policy");
+            assert_eq!(report.metrics.events, events.len() as u64);
             assert_eq!(
                 per_session_decisions(&report.actions, session_peers(sweep.sessions)),
                 baseline,
-                "sharded runtime ({shards} shards) diverged from the baseline"
+                "sharded runtime ({shards} shards, {ingest_threads} producers) \
+                 diverged from the baseline"
             );
 
-            let rate = events.len() as f64 / secs(pipeline);
-            let max_depth = report
-                .metrics
-                .per_shard
-                .iter()
-                .map(|m| m.max_queue_depth)
-                .max()
-                .unwrap_or(0);
+            let label = format!("shards={shards:<2} prod={:<2}", report.metrics.producers);
             println!(
-                "  shards={shards:<2}         : pipeline {:>8.3} s  {:>10.0} ev/s  speedup {:>5.2}x  \
-                 reroute p50/p99 {:>6}/{:<6} µs  maxdepth {}  (resync {:.3} s)",
-                secs(pipeline),
-                rate,
-                rate / base_rate,
-                report.metrics.reroute_latency.p50,
-                report.metrics.reroute_latency.p99,
-                max_depth,
+                "{}  (resync {:.3} s)",
+                mode_line(
+                    &label,
+                    pipeline,
+                    events.len() as u64,
+                    base_rate,
+                    &report.metrics
+                ),
                 secs(resync),
             );
         }

@@ -23,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::time::Instant;
+use swift_bench::harness::ExpArgs;
 use swift_bgp::{AsLink, AsPath, Asn, InternedRib, Prefix};
 use swift_core::inference::{
     infer_links, infer_links_scan, predict, predict_scan, InferredLinks, LinkCounters,
@@ -104,7 +105,7 @@ fn attempt_scan(c: &LinkCounters, config: &InferenceConfig) -> (InferredLinks, u
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = ExpArgs::parse().flag("--smoke");
     let config = InferenceConfig::default();
     let rib_sizes: &[usize] = if smoke {
         &[10_000, 50_000]

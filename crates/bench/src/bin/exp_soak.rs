@@ -13,23 +13,31 @@
 //!   between bursts, so SWIFT rules are installed *and* retired thousands of
 //!   times per run;
 //! * at least one session torn down mid-run and re-registered before its
-//!   next burst (`ShardedRuntime::teardown_session` / `register_session`),
-//!   exercising the applier's rule + RIB-mirror cleanup.
+//!   next burst (`teardown_session` / `register_session`), exercising the
+//!   applier's rule + RIB-mirror cleanup;
+//! * with `--ingest-threads N`, the corpus arrives from **N concurrent
+//!   producer threads**, each owning a `swift_runtime::IngestHandle` fed by
+//!   one source of `SoakReplay::partition_sources` (sessions disjoint across
+//!   sources, lifecycle calls in-band per source). Producers rendezvous at
+//!   each broadcast convergence marker so the resync happens at the same
+//!   logical point as in the single-producer replay.
 //!
-//! Every mode (inline, each sharded configuration) must reach identical
-//! per-session reroute decisions — the soak's numbers are only trustworthy
-//! because the work is provably the same. Reported per mode: wall time,
-//! events/s, resyncs and rules removed, reroute latency p50/p99, per-shard
-//! queue high-waters.
+//! Every mode (inline, each sharded configuration, each producer count) must
+//! reach identical per-session reroute decisions — the soak's numbers are
+//! only trustworthy because the work is provably the same. Reported per
+//! mode: wall time, events/s, resyncs and rules removed, reroute latency
+//! p50/p99, per-shard queue high-waters.
 //!
 //! Tiers: `--smoke` (6 sessions × 4k prefixes, CI-sized) vs the default full
 //! tier (213 sessions × 10k prefixes, ~2.1M-prefix vantage table — run it on
 //! a multi-core box with a few GB of memory).
 //!
-//! Usage: `exp_soak [--smoke] [--shards 2,4] [--no-churn]`
+//! Usage: `exp_soak [--smoke] [--shards 2,4] [--ingest-threads N] [--no-churn]`
 
 use std::collections::BTreeMap;
+use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
+use swift_bench::harness::{mode_line, secs, ExpArgs};
 use swift_bench::per_session_decisions;
 use swift_bgp::{Asn, PeerId, Prefix, Route};
 use swift_core::encoding::ReroutingPolicy;
@@ -42,14 +50,11 @@ use swift_traces::soak::{pick_feasible_flaps, ReplayItem, SoakConfig, SoakReplay
 /// routes.
 type FlapRoutes = BTreeMap<PeerId, (Asn, Vec<(Prefix, Route)>)>;
 
-fn secs(d: Duration) -> f64 {
-    d.as_secs_f64()
-}
-
 /// What one full soak pass produced.
 struct SoakOutcome {
     report: swift_runtime::RuntimeReport,
     pipeline: Duration,
+    producers: usize,
     resyncs: usize,
     rules_removed: usize,
     downs: usize,
@@ -57,8 +62,9 @@ struct SoakOutcome {
     flaps_skipped: usize,
 }
 
-/// Replays the whole corpus through one runtime configuration, honouring the
-/// stream's lifecycle markers and convergence points.
+/// Replays the whole corpus through one runtime configuration from a single
+/// producer (the runtime's default handle), honouring the stream's lifecycle
+/// markers and convergence points.
 fn drive(
     shards: usize,
     template: &SoakReplay<'_>,
@@ -101,6 +107,7 @@ fn drive(
     SoakOutcome {
         report: runtime.finish(),
         pipeline,
+        producers: 1,
         resyncs,
         rules_removed,
         downs,
@@ -109,20 +116,160 @@ fn drive(
     }
 }
 
+/// Replays the corpus from `producers` concurrent producer threads, each
+/// owning one `IngestHandle` fed by one source of
+/// [`SoakReplay::partition_sources`]. The main thread coordinates: at every
+/// (broadcast) convergence marker all producers flush their handles and park
+/// on a barrier, the coordinator resyncs, and a second barrier releases them
+/// — so rules are retired at the same logical point as in the
+/// single-producer replay. The coordinator only needs the marker *count*
+/// (`convergence_markers`, known from the baseline pass) — the producers'
+/// own streams gate the timing, so no extra merge pass runs on the main
+/// thread.
+fn drive_multi(
+    shards: usize,
+    producers: usize,
+    convergence_markers: usize,
+    template: &SoakReplay<'_>,
+    table: &swift_bgp::RoutingTable,
+    swift: &SwiftConfig,
+    flap_routes: &FlapRoutes,
+) -> SoakOutcome {
+    assert!(shards > 0, "multi-producer ingest needs a sharded runtime");
+    let mut runtime = ShardedRuntime::new(
+        RuntimeConfig::sharded(shards),
+        swift.clone(),
+        table.clone(),
+        ReroutingPolicy::allow_all(),
+    );
+    let sources = template.partition_sources(producers);
+    let rendezvous = Barrier::new(producers + 1);
+    // (downs, ups, flaps skipped) across producers; every fully-consumed
+    // source reports the corpus-wide skip count, hence the max.
+    let churn = Mutex::new((0usize, 0usize, 0usize));
+    let (mut resyncs, mut rules_removed) = (0usize, 0usize);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for source in sources {
+            let mut handle = runtime.handle();
+            let rendezvous = &rendezvous;
+            let churn = &churn;
+            scope.spawn(move || {
+                let mut source = source;
+                // Set while a consumed Converged marker's rendezvous is
+                // still owed — so a panic inside flush/wait cannot lose it.
+                let owed = std::cell::Cell::new(false);
+                let replay = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let (mut downs, mut ups) = (0usize, 0usize);
+                    for item in source.by_ref() {
+                        match item {
+                            ReplayItem::Event { peer, event } => handle.ingest(peer, event),
+                            ReplayItem::Converged { .. } => {
+                                owed.set(true);
+                                handle.flush();
+                                rendezvous.wait(); // everyone flushed and parked
+                                rendezvous.wait(); // coordinator resynced
+                                owed.set(false);
+                            }
+                            ReplayItem::SessionDown { peer, .. } => {
+                                handle.teardown_session(peer);
+                                downs += 1;
+                            }
+                            ReplayItem::SessionUp { peer, .. } => {
+                                let (asn, routes) = &flap_routes[&peer];
+                                handle.register_session(peer, *asn, routes.clone());
+                                ups += 1;
+                            }
+                        }
+                    }
+                    handle.finish();
+                    let skipped = source.flaps_skipped();
+                    let mut totals = churn.lock().expect("churn totals lock");
+                    totals.0 += downs;
+                    totals.1 += ups;
+                    totals.2 = totals.2.max(skipped);
+                }));
+                if let Err(payload) = replay {
+                    // std::sync::Barrier has no poisoning: a producer that
+                    // died mid-replay must keep honouring the remaining
+                    // rendezvous points (its source knows the convergence
+                    // schedule) or the coordinator and siblings deadlock.
+                    // Re-panic afterwards so the scope still reports it.
+                    if owed.get() {
+                        rendezvous.wait();
+                        rendezvous.wait();
+                    }
+                    for item in source {
+                        if matches!(item, ReplayItem::Converged { .. }) {
+                            rendezvous.wait();
+                            rendezvous.wait();
+                        }
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+            });
+        }
+        // The coordinator serves `convergence_markers` rendezvous rounds;
+        // the producers' streams (which all broadcast the same marker
+        // sequence) gate when each round fires.
+        let completed = std::cell::Cell::new(0usize);
+        // Set between the park rendezvous and the release rendezvous, so a
+        // resync panic cannot leave the producers parked forever.
+        let owed_release = std::cell::Cell::new(false);
+        let coord = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for _ in 0..convergence_markers {
+                rendezvous.wait();
+                owed_release.set(true);
+                rules_removed += runtime.resync_after_convergence();
+                resyncs += 1;
+                rendezvous.wait();
+                owed_release.set(false);
+                completed.set(completed.get() + 1);
+            }
+        }));
+        if let Err(payload) = coord {
+            // Mirror of the producer-side recovery: the barrier has no
+            // poisoning, so a coordinator that died (e.g. a resync panic
+            // because a runtime thread is gone) must keep honouring the
+            // remaining rendezvous schedule — the producers drain their
+            // sources, the scope joins, and the panic surfaces instead of
+            // hanging the harness.
+            if owed_release.get() {
+                rendezvous.wait();
+                completed.set(completed.get() + 1);
+            }
+            for _ in completed.get()..convergence_markers {
+                rendezvous.wait();
+                rendezvous.wait();
+            }
+            std::panic::resume_unwind(payload);
+        }
+    });
+    runtime.flush();
+    let pipeline = t0.elapsed();
+    rules_removed += runtime.resync_after_convergence();
+    resyncs += 1;
+    let (downs, ups, flaps_skipped) = *churn.lock().expect("churn totals lock");
+    SoakOutcome {
+        report: runtime.finish(),
+        pipeline,
+        producers,
+        resyncs,
+        rules_removed,
+        downs,
+        ups,
+        flaps_skipped,
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let churn = !args.iter().any(|a| a == "--no-churn");
-    let shard_counts: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--shards")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| {
-            s.split(',')
-                .map(|n| n.parse().expect("--shards takes a comma-separated list"))
-                .collect()
-        })
-        .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![2, 4, 8] });
+    let args = ExpArgs::parse();
+    let smoke = args.flag("--smoke");
+    let churn = !args.flag("--no-churn");
+    let ingest_threads = args.usize_value("--ingest-threads", 1).max(1);
+    let shard_counts: Vec<usize> =
+        args.usize_list("--shards")
+            .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![2, 4, 8] });
 
     // Smoke scales tables and thresholds down so CI exercises the full
     // accept → install → resync → teardown path in seconds; the full tier
@@ -182,18 +329,16 @@ fn main() {
         })
         .collect();
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     println!("exp_soak — corpus soak replay through the sharded runtime");
     println!(
-        "tier: {} | sessions={} table={}/session bursts={} flaps scheduled={} | {} core(s)\n",
+        "tier: {} | sessions={} table={}/session bursts={} flaps scheduled={} ingest-threads={} | {} core(s)\n",
         if smoke { "smoke" } else { "full" },
         corpus.num_sessions(),
         corpus.config().table_size,
         corpus.total_bursts(),
         flaps.len(),
-        cores,
+        ingest_threads,
+        swift_bench::harness::available_cores(),
     );
 
     // --- Inline baseline --------------------------------------------------
@@ -229,8 +374,26 @@ fn main() {
 
     // --- Sharded modes ----------------------------------------------------
     for &shards in &shard_counts {
-        let outcome = drive(shards, &template, &table, &swift_config, &flap_routes);
+        let outcome = if ingest_threads > 1 {
+            // The baseline counted one trailing resync beyond the stream's
+            // markers; the coordinator serves exactly the in-stream ones.
+            drive_multi(
+                shards,
+                ingest_threads,
+                baseline.resyncs - 1,
+                &template,
+                &table,
+                &swift_config,
+                &flap_routes,
+            )
+        } else {
+            drive(shards, &template, &table, &swift_config, &flap_routes)
+        };
         assert_eq!(outcome.report.metrics.dropped, 0, "lossless under Block");
+        assert_eq!(
+            outcome.report.metrics.events, events,
+            "every producer's events are merged into the report"
+        );
         assert_eq!(
             (outcome.downs, outcome.ups),
             (baseline.downs, baseline.ups),
@@ -240,26 +403,19 @@ fn main() {
             per_session_decisions(&outcome.report.actions, session_peers.iter().copied());
         assert_eq!(
             decisions, base_decisions,
-            "sharded soak ({shards} shards) diverged from the inline baseline"
+            "sharded soak ({shards} shards, {} producers) diverged from the inline baseline",
+            outcome.producers,
         );
-        let rate = events as f64 / secs(outcome.pipeline);
-        let max_depth = outcome
-            .report
-            .metrics
-            .per_shard
-            .iter()
-            .map(|m| m.max_queue_depth)
-            .max()
-            .unwrap_or(0);
+        let label = format!("shards={shards:<2} prod={:<2}", outcome.producers);
         println!(
-            "  shards={shards:<2}         : {:>8.3} s  {:>10.0} ev/s  speedup {:>5.2}x  \
-             reroute p50/p99 {:>6}/{:<8} µs  maxdepth {}  resyncs {} ({} rules removed)",
-            secs(outcome.pipeline),
-            rate,
-            rate / base_rate,
-            outcome.report.metrics.reroute_latency.p50,
-            outcome.report.metrics.reroute_latency.p99,
-            max_depth,
+            "{}  resyncs {} ({} rules removed)",
+            mode_line(
+                &label,
+                outcome.pipeline,
+                events,
+                base_rate,
+                &outcome.report.metrics
+            ),
             outcome.resyncs,
             outcome.rules_removed,
         );

@@ -12,6 +12,8 @@
 
 #![warn(clippy::all)]
 
+pub mod harness;
+
 use std::collections::BTreeMap;
 use swift_bgp::{PeerId, PrefixSet, Timestamp};
 use swift_core::inference::InferenceEngine;

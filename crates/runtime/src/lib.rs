@@ -8,25 +8,34 @@
 //! ## Architecture
 //!
 //! ```text
-//!                      ┌───────────────┐
-//!   ingest ───hash──▶  │ shard worker 0 │──┐
-//!   (peer, event)      │  SessionEngine │  │   accepted inferences
-//!                      │  per session   │  │   + every event
-//!                      ├───────────────┤  ▼
-//!                      │ shard worker 1 │─▶ ┌─────────────────┐
-//!                      ├───────────────┤    │  applier thread  │
-//!                      │      ...       │─▶ │  RoutingTable     │
-//!                      └───────────────┘    │  TwoStageTable    │
-//!                        bounded mpsc       │  rule installs +  │
-//!                        (backpressure)     │  resyncs, serial  │
-//!                                           └─────────────────┘
+//!   IngestHandle 0 ─┐       ┌───────────────┐
+//!   (its sessions)  ├─hash─▶│ shard worker 0 │──┐
+//!   IngestHandle 1 ─┤       │  SessionEngine │  │   accepted inferences
+//!   (its sessions)  │       │  per session   │  │   + every event
+//!       ...         │       ├───────────────┤  ▼
+//!   default handle ─┘       │ shard worker 1 │─▶ ┌─────────────────┐
+//!   (ingest()/…)            ├───────────────┤    │  applier thread  │
+//!                           │      ...       │─▶ │  RoutingTable     │
+//!                           └───────────────┘    │  TwoStageTable    │
+//!                             bounded mpsc       │  rule installs +  │
+//!                             (backpressure)     │  resyncs, serial  │
+//!                                                └─────────────────┘
 //! ```
 //!
+//! * **Multi-producer ingest**: any number of threads each own an
+//!   [`IngestHandle`] ([`ShardedRuntime::handle`]) that batches events per
+//!   shard and sends straight into the shard queues — no central dispatch
+//!   thread, no serialized stage in front of the shards. Events are stamped
+//!   by a coarse shared epoch clock instead of a per-event `Instant::now()`;
+//!   drop counters and queue high-waters are per-handle and merged when the
+//!   handles finish. [`ShardedRuntime::ingest`] is a thin wrapper over a
+//!   built-in default handle.
 //! * **Sessions are sharded, not events**: every peer is hashed onto one of N
 //!   worker shards, so one session's events are always processed in order by
 //!   one [`SessionEngine`](swift_core::pipeline::SessionEngine) — the
 //!   per-session verdict stream is identical to the single-threaded
-//!   [`SwiftRouter`](swift_core::SwiftRouter)'s, regardless of shard count.
+//!   [`SwiftRouter`](swift_core::SwiftRouter)'s, regardless of shard count —
+//!   provided each session stays pinned to one handle (see [`IngestHandle`]).
 //! * **One applier** serializes everything that must be serial: the
 //!   [`TwoStageTable`](swift_core::TwoStageTable) rule installs of accepted
 //!   inferences (in arrival order) and the reconvergence resyncs. Routing-RIB
@@ -60,21 +69,25 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod ingest;
 mod worker;
 
+use ingest::{EpochClock, ProducerShared};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use swift_bgp::{Asn, ElementaryEvent, InternedRib, PeerId, Prefix, Route, RoutingTable};
+use swift_bgp::{Asn, ElementaryEvent, PeerId, Prefix, Route, RoutingTable};
 use swift_core::encoding::ReroutingPolicy;
 use swift_core::inference::EngineStatus;
-use swift_core::metrics::{LatencyRecorder, LatencySummary};
+use swift_core::metrics::{LatencyRecorder, LatencySummary, ProducerCounters};
 use swift_core::pipeline::{session_engines, Applier, SessionEngine};
 use swift_core::{RerouteAction, SwiftConfig};
-use worker::{ApplierMsg, IngestEvent, ShardMsg};
+use worker::{ApplierMsg, ShardMsg};
+
+pub use ingest::IngestHandle;
 
 /// What to do when a shard's ingest queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -107,6 +120,12 @@ pub struct RuntimeConfig {
     pub backpressure: BackpressurePolicy,
     /// Retained samples per latency recorder (ring buffer).
     pub latency_window: usize,
+    /// Events between two refreshes of the coarse ingest clock, per producer
+    /// handle. `1` re-reads the real clock on every event (the old per-event
+    /// `Instant::now()` behaviour, for comparison benches); the default keeps
+    /// the ingest path down to an atomic load at the cost of up to one
+    /// interval of latency-stamp skew.
+    pub clock_refresh_interval: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -126,6 +145,7 @@ impl RuntimeConfig {
             applier_capacity: 256,
             backpressure: BackpressurePolicy::Block,
             latency_window: 16_384,
+            clock_refresh_interval: 256,
         }
     }
 
@@ -152,7 +172,10 @@ pub struct ShardMetrics {
     pub batches: u64,
     /// Events dropped at ingest under [`BackpressurePolicy::DropNewest`].
     pub dropped: u64,
-    /// High-water mark of the shard's ingest queue, in batches.
+    /// High-water mark of the shard's ingest queue, in batches — an upper
+    /// estimate under concurrent producers (each producer's observation may
+    /// transiently include siblings' not-yet-enqueued batches), clamped to
+    /// the queue's physical capacity.
     pub max_queue_depth: usize,
     /// Ingest → engine-processed latency summary (µs).
     pub event_latency: LatencySummary,
@@ -165,9 +188,16 @@ pub struct ShardMetrics {
 pub struct RuntimeMetrics {
     /// Worker shards used (`0` = deterministic inline mode).
     pub shards: usize,
+    /// Producer handles that ingested at least one event and were finished
+    /// (or dropped) before the runtime shut down — includes the runtime's
+    /// built-in default handle when [`ShardedRuntime::ingest`] was used.
+    /// `0` in deterministic inline mode.
+    pub producers: usize,
     /// Events ingested (including any later dropped under
     /// [`BackpressurePolicy::DropNewest`]; `events - dropped` were
-    /// processed).
+    /// processed). In sharded mode this counts what *finished* producers
+    /// ingested — finish or drop every handle before
+    /// [`ShardedRuntime::finish`].
     pub events: u64,
     /// Events dropped across all shards.
     pub dropped: u64,
@@ -218,12 +248,11 @@ struct Sharded {
     applier_handle: JoinHandle<worker::ApplierReport>,
     barrier_rx: Receiver<u64>,
     next_barrier: u64,
-    /// Per-shard batch buffers not yet sent.
-    buffers: Vec<Vec<IngestEvent>>,
-    /// Per-shard in-flight batch counters (shared with the workers).
-    depth: Vec<Arc<AtomicUsize>>,
-    max_depth: Vec<usize>,
-    dropped: Vec<u64>,
+    /// The producer-side state shared by every [`IngestHandle`].
+    shared: Arc<ProducerShared>,
+    /// The handle behind [`ShardedRuntime::ingest`] — the runtime itself is
+    /// just one producer among the handles.
+    default_handle: Option<IngestHandle>,
 }
 
 /// The state behind a deterministic inline instance.
@@ -250,8 +279,11 @@ pub struct ShardedRuntime {
     /// Kept for seeding the engines of sessions registered mid-run.
     swift: SwiftConfig,
     mode: Option<Mode>,
+    /// Inline-mode event count (sharded mode counts per producer handle).
     events: u64,
-    started: Option<Instant>,
+    /// First ingest from any producer — shared so concurrent handles race
+    /// safely to one run-start stamp.
+    started: Arc<OnceLock<Instant>>,
 }
 
 impl ShardedRuntime {
@@ -266,6 +298,7 @@ impl ShardedRuntime {
         policy: ReroutingPolicy,
     ) -> Self {
         let engines = session_engines(&swift, &table);
+        let started: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
         if config.shards == 0 {
             let applier = Applier::new(swift.clone(), table, policy);
             return ShardedRuntime {
@@ -273,7 +306,7 @@ impl ShardedRuntime {
                 swift,
                 mode: Some(Mode::Inline(Box::new(Inline { engines, applier }))),
                 events: 0,
-                started: None,
+                started,
             };
         }
 
@@ -285,14 +318,23 @@ impl ShardedRuntime {
             partitions[shard_of(peer, shards)].insert(peer, engine);
         }
 
+        let clock = Arc::new(EpochClock::new());
         let applier = Applier::new(swift.clone(), table, policy).with_deferred_rib();
         let (applier_tx, applier_rx) = mpsc::sync_channel(config.applier_capacity.max(1));
         let (barrier_tx, barrier_rx) = mpsc::channel();
         let latency_window = config.latency_window;
+        let applier_clock = Arc::clone(&clock);
         let applier_handle = std::thread::Builder::new()
             .name("swift-applier".into())
             .spawn(move || {
-                worker::applier_loop(applier, applier_rx, barrier_tx, shards, latency_window)
+                worker::applier_loop(
+                    applier,
+                    applier_rx,
+                    barrier_tx,
+                    shards,
+                    applier_clock,
+                    latency_window,
+                )
             })
             .expect("spawn applier thread");
 
@@ -304,16 +346,39 @@ impl ShardedRuntime {
             let shard_depth = Arc::new(AtomicUsize::new(0));
             let applier_tx = applier_tx.clone();
             let depth_clone = Arc::clone(&shard_depth);
+            let shard_clock = Arc::clone(&clock);
             let handle = std::thread::Builder::new()
                 .name(format!("swift-shard-{i}"))
                 .spawn(move || {
-                    worker::shard_loop(i, engines, rx, applier_tx, depth_clone, latency_window)
+                    worker::shard_loop(
+                        i,
+                        engines,
+                        rx,
+                        applier_tx,
+                        depth_clone,
+                        shard_clock,
+                        latency_window,
+                    )
                 })
                 .expect("spawn shard thread");
             shard_txs.push(tx);
             shard_handles.push(handle);
             depth.push(shard_depth);
         }
+
+        let shared = Arc::new(ProducerShared {
+            shard_txs: shard_txs.clone(),
+            depth,
+            batch_size: config.batch_size.max(1),
+            queue_capacity: config.queue_capacity,
+            backpressure: config.backpressure,
+            clock,
+            started: Arc::clone(&started),
+            shutdown: AtomicBool::new(false),
+            swift: swift.clone(),
+            merged: Mutex::new(ProducerCounters::for_shards(shards)),
+        });
+        let default_handle = IngestHandle::new(Arc::clone(&shared), config.clock_refresh_interval);
 
         ShardedRuntime {
             mode: Some(Mode::Sharded(Box::new(Sharded {
@@ -323,17 +388,13 @@ impl ShardedRuntime {
                 applier_handle,
                 barrier_rx,
                 next_barrier: 0,
-                buffers: (0..shards)
-                    .map(|_| Vec::with_capacity(config.batch_size))
-                    .collect(),
-                depth: depth.clone(),
-                max_depth: vec![0; shards],
-                dropped: vec![0; shards],
+                shared,
+                default_handle: Some(default_handle),
             }))),
             config,
             swift,
             events: 0,
-            started: None,
+            started,
         }
     }
 
@@ -347,17 +408,44 @@ impl ShardedRuntime {
         self.config.shards == 0
     }
 
+    /// A new producer handle into this runtime: a cloneable, `Send`
+    /// front-end that batches events per shard and sends them straight into
+    /// the shard queues — see [`IngestHandle`] for the pinning rule that
+    /// preserves per-session ordering across producers.
+    ///
+    /// Finish (or drop) every handle before [`ShardedRuntime::flush`] /
+    /// [`ShardedRuntime::finish`]: a live handle may still hold buffered
+    /// events, and its counters only reach [`RuntimeMetrics`] once it
+    /// finishes.
+    ///
+    /// # Panics
+    ///
+    /// In deterministic inline mode — a zero-shard runtime has no queues for
+    /// a producer to feed; use [`ShardedRuntime::ingest`] there.
+    pub fn handle(&self) -> IngestHandle {
+        match self.mode.as_ref().expect("runtime live") {
+            Mode::Inline(_) => {
+                panic!("deterministic inline mode has no producer handles; use ingest()")
+            }
+            Mode::Sharded(sharded) => IngestHandle::new(
+                Arc::clone(&sharded.shared),
+                self.config.clock_refresh_interval,
+            ),
+        }
+    }
+
     /// Ingests one per-prefix event received on the session with `peer`.
     ///
-    /// Sharded mode: the event is buffered and dispatched (in batches) to the
-    /// session's home shard; rule installs happen asynchronously on the
-    /// applier thread. Deterministic mode: the event is processed to
+    /// Sharded mode: a thin wrapper over the runtime's default
+    /// [`IngestHandle`] — the event is buffered and dispatched (in batches)
+    /// to the session's home shard; rule installs happen asynchronously on
+    /// the applier thread. Deterministic mode: the event is processed to
     /// completion before returning.
     pub fn ingest(&mut self, peer: PeerId, event: ElementaryEvent) {
-        self.started.get_or_insert_with(Instant::now);
-        self.events += 1;
         match self.mode.as_mut().expect("runtime live") {
             Mode::Inline(inline) => {
+                self.started.get_or_init(Instant::now);
+                self.events += 1;
                 // The inline applier is eager (no deferral), so the by-ref
                 // path applies the event without cloning it.
                 inline.applier.note_event(peer, &event);
@@ -368,15 +456,11 @@ impl ShardedRuntime {
                 }
             }
             Mode::Sharded(sharded) => {
-                let shard = shard_of(peer, self.config.shards);
-                sharded.buffers[shard].push(IngestEvent {
-                    peer,
-                    event,
-                    ingest: Instant::now(),
-                });
-                if sharded.buffers[shard].len() >= self.config.batch_size {
-                    Self::dispatch(sharded, shard, &self.config);
-                }
+                sharded
+                    .default_handle
+                    .as_mut()
+                    .expect("default handle live")
+                    .ingest(peer, event);
             }
         }
     }
@@ -408,27 +492,18 @@ impl ShardedRuntime {
         I: IntoIterator<Item = (Prefix, Route)>,
     {
         let routes: Vec<(Prefix, Route)> = routes.into_iter().collect();
-        let mut rib = InternedRib::new();
-        for (prefix, route) in &routes {
-            rib.push(*prefix, route.as_path());
-        }
-        let engine = SessionEngine::from_interned(peer, &self.swift, &rib);
         match self.mode.as_mut().expect("runtime live") {
             Mode::Inline(inline) => {
+                let engine = ingest::engine_from_routes(peer, &self.swift, &routes);
                 inline.engines.insert(peer, engine);
                 inline.applier.register_session(peer, asn, routes);
             }
             Mode::Sharded(sharded) => {
-                let shard = shard_of(peer, self.config.shards);
-                Self::dispatch(sharded, shard, &self.config);
-                sharded.shard_txs[shard]
-                    .send(ShardMsg::Register(Box::new(worker::SessionRegistration {
-                        peer,
-                        asn,
-                        engine,
-                        routes,
-                    })))
-                    .expect("shard thread alive");
+                sharded
+                    .default_handle
+                    .as_mut()
+                    .expect("default handle live")
+                    .register_session(peer, asn, routes);
             }
         }
     }
@@ -449,68 +524,31 @@ impl ShardedRuntime {
                 inline.applier.teardown_session(peer);
             }
             Mode::Sharded(sharded) => {
-                let shard = shard_of(peer, self.config.shards);
-                Self::dispatch(sharded, shard, &self.config);
-                sharded.shard_txs[shard]
-                    .send(ShardMsg::Teardown(peer))
-                    .expect("shard thread alive");
+                sharded
+                    .default_handle
+                    .as_mut()
+                    .expect("default handle live")
+                    .teardown_session(peer);
             }
         }
     }
 
-    /// Sends shard `shard`'s buffered batch, honouring the backpressure
-    /// policy. (Associated fn, not a method: callers hold `&mut` pieces.)
+    /// Flushes the default handle's buffered batches and blocks until all
+    /// shards *and* the applier have fully processed everything enqueued so
+    /// far.
     ///
-    /// The queue high-water mark is recorded only once the batch is actually
-    /// enqueued — a batch shed under [`BackpressurePolicy::DropNewest`] never
-    /// occupied a queue slot, so it must not raise the reported mark. The
-    /// depth counter is decremented by the worker on receive, so it can
-    /// transiently over-read by the one batch the worker is unpacking; the
-    /// recorded mark is clamped to the queue's physical capacity.
-    fn dispatch(sharded: &mut Sharded, shard: usize, config: &RuntimeConfig) {
-        if sharded.buffers[shard].is_empty() {
-            return;
-        }
-        let batch = std::mem::replace(
-            &mut sharded.buffers[shard],
-            Vec::with_capacity(config.batch_size),
-        );
-        let new_depth = sharded.depth[shard].fetch_add(1, Ordering::Relaxed) + 1;
-        let high_water = new_depth.min(config.queue_capacity.max(1));
-        match config.backpressure {
-            BackpressurePolicy::Block => {
-                sharded.shard_txs[shard]
-                    .send(ShardMsg::Batch(batch))
-                    .expect("shard thread alive");
-                sharded.max_depth[shard] = sharded.max_depth[shard].max(high_water);
-            }
-            BackpressurePolicy::DropNewest => {
-                match sharded.shard_txs[shard].try_send(ShardMsg::Batch(batch)) {
-                    Ok(()) => {
-                        sharded.max_depth[shard] = sharded.max_depth[shard].max(high_water);
-                    }
-                    Err(TrySendError::Full(ShardMsg::Batch(batch))) => {
-                        sharded.depth[shard].fetch_sub(1, Ordering::Relaxed);
-                        sharded.dropped[shard] += batch.len() as u64;
-                    }
-                    Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                        panic!("shard thread gone")
-                    }
-                }
-            }
-        }
-    }
-
-    /// Flushes every buffered batch and blocks until all shards *and* the
-    /// applier have fully processed everything ingested so far.
+    /// Other producers' [`IngestHandle`]s are *not* flushed — flush (or
+    /// finish) them first if their buffered events must be part of the
+    /// drain.
     pub fn flush(&mut self) {
-        let shards = self.config.shards;
         match self.mode.as_mut().expect("runtime live") {
             Mode::Inline(_) => {}
             Mode::Sharded(sharded) => {
-                for shard in 0..shards {
-                    Self::dispatch(sharded, shard, &self.config);
-                }
+                sharded
+                    .default_handle
+                    .as_mut()
+                    .expect("default handle live")
+                    .flush();
                 let seq = sharded.next_barrier;
                 sharded.next_barrier += 1;
                 for tx in &sharded.shard_txs {
@@ -554,7 +592,11 @@ impl ShardedRuntime {
     /// Internal teardown shared by [`ShardedRuntime::finish`] and `Drop`.
     fn shutdown(&mut self) -> Option<RuntimeReport> {
         let mode = self.mode.take()?;
-        let wall = self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO);
+        let wall = self
+            .started
+            .get()
+            .map(|s| s.elapsed())
+            .unwrap_or(Duration::ZERO);
         match mode {
             Mode::Inline(inline) => {
                 // Inline processing has no queueing, so no latency samples
@@ -567,6 +609,7 @@ impl ShardedRuntime {
                     actions: inline.applier.actions().to_vec(),
                     metrics: RuntimeMetrics {
                         shards: 0,
+                        producers: 0,
                         events: self.events,
                         dropped: 0,
                         wall,
@@ -583,8 +626,15 @@ impl ShardedRuntime {
                 })
             }
             Mode::Sharded(mut sharded) => {
-                for shard in 0..self.config.shards {
-                    Self::dispatch(&mut sharded, shard, &self.config);
+                // From here on, handles finding a disconnected queue treat
+                // it as "the runtime finished" rather than a crashed worker.
+                sharded.shared.shutdown.store(true, Ordering::Relaxed);
+                // The default handle is a producer like any other: finishing
+                // it flushes its buffers and folds its counters into the
+                // shared accumulator — external handles should already have
+                // done the same.
+                if let Some(handle) = sharded.default_handle.take() {
+                    handle.finish();
                 }
                 for tx in &sharded.shard_txs {
                     let _ = tx.send(ShardMsg::Shutdown);
@@ -600,7 +650,17 @@ impl ShardedRuntime {
                     .applier_handle
                     .join()
                     .expect("applier thread exits cleanly");
-                let wall = self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO);
+                let wall = self
+                    .started
+                    .get()
+                    .map(|s| s.elapsed())
+                    .unwrap_or(Duration::ZERO);
+                let producers = sharded
+                    .shared
+                    .merged
+                    .lock()
+                    .expect("producer counter lock")
+                    .clone();
 
                 let mut merged_latency = LatencyRecorder::new(self.config.latency_window);
                 let per_shard: Vec<ShardMetrics> = shard_reports
@@ -613,8 +673,8 @@ impl ShardedRuntime {
                             sessions: r.sessions,
                             events: r.events,
                             batches: r.batches,
-                            dropped: sharded.dropped[r.shard],
-                            max_queue_depth: sharded.max_depth[r.shard],
+                            dropped: producers.dropped[r.shard],
+                            max_queue_depth: producers.max_queue_depth[r.shard],
                             event_latency: r.latency.summary(),
                             events_per_sec: if busy > 0.0 {
                                 r.events as f64 / busy
@@ -624,14 +684,15 @@ impl ShardedRuntime {
                         }
                     })
                     .collect();
-                let dropped: u64 = sharded.dropped.iter().sum();
+                let dropped = producers.total_dropped();
                 let secs = wall.as_secs_f64();
-                let delivered = self.events.saturating_sub(dropped);
+                let delivered = producers.events.saturating_sub(dropped);
                 Some(RuntimeReport {
                     actions: applier_report.applier.actions().to_vec(),
                     metrics: RuntimeMetrics {
                         shards: self.config.shards,
-                        events: self.events,
+                        producers: producers.producers,
+                        events: producers.events,
                         dropped,
                         wall,
                         events_per_sec: if secs > 0.0 {
@@ -1055,6 +1116,186 @@ mod tests {
             report.applier().forwarding().swift_rule_count()
         };
         assert!(report_rules > 0, "peer 1's reroute rules survive");
+    }
+
+    /// Splits the interleaved burst stream into `k` per-source streams with
+    /// sessions disjoint across sources (session s → source (s-1) % k),
+    /// preserving each session's order — the pinning rule.
+    fn partition_by_session(
+        events: &[(PeerId, ElementaryEvent)],
+        k: usize,
+    ) -> Vec<Vec<(PeerId, ElementaryEvent)>> {
+        let mut sources = vec![Vec::new(); k];
+        for (peer, event) in events {
+            sources[(peer.0 as usize).saturating_sub(1) % k].push((*peer, event.clone()));
+        }
+        sources
+    }
+
+    #[test]
+    fn concurrent_producers_reach_inline_decisions_with_well_defined_metrics() {
+        let peers = 4u32;
+        let n = 200u32;
+        let baseline = run(0, peers, n);
+        let events = interleaved_bursts(peers, n);
+        for producers in [2usize, 3] {
+            let runtime = ShardedRuntime::new(
+                RuntimeConfig {
+                    batch_size: 16,
+                    ..RuntimeConfig::sharded(2)
+                },
+                config(),
+                multi_table(peers, n),
+                ReroutingPolicy::allow_all(),
+            );
+            std::thread::scope(|scope| {
+                for source in partition_by_session(&events, producers) {
+                    let mut handle = runtime.handle();
+                    scope.spawn(move || {
+                        handle.ingest_stream(source);
+                        handle.finish();
+                    });
+                }
+            });
+            let report = runtime.finish();
+            // Regression (run-start used to be stamped on `&mut self`): with
+            // no ingest() call ever made on the runtime itself, the wall
+            // clock must still start at the producers' first event.
+            assert!(
+                report.metrics.wall > Duration::ZERO,
+                "wall is stamped by the first producer event, not by ingest()"
+            );
+            assert_eq!(report.metrics.events, u64::from(peers * n));
+            assert_eq!(report.metrics.dropped, 0);
+            assert_eq!(
+                report.metrics.producers, producers,
+                "every finished handle that saw events is counted"
+            );
+            for s in 0..peers {
+                let peer = PeerId(s + 1);
+                let got = report.actions_for(peer);
+                let want = baseline.actions_for(peer);
+                assert_eq!(got.len(), want.len(), "session {peer:?}");
+                for (a, b) in got.iter().zip(want.iter()) {
+                    assert_eq!(a.time, b.time);
+                    assert_eq!(a.links, b.links);
+                    assert_eq!(a.predicted, b.predicted);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn producer_counters_merge_across_handles_under_drop_newest() {
+        // Two producers against saturated tiny queues: the report's drop
+        // count and high-water must reflect *both* handles' counters merged
+        // (sum of drops, max of high-waters), and every event must be either
+        // processed or counted as dropped.
+        let peers = 2u32;
+        let n = 2_000u32;
+        let queue_capacity = 1usize;
+        let runtime = ShardedRuntime::new(
+            RuntimeConfig {
+                batch_size: 2,
+                queue_capacity,
+                applier_capacity: 1,
+                backpressure: BackpressurePolicy::DropNewest,
+                ..RuntimeConfig::sharded(2)
+            },
+            config(),
+            multi_table(peers, n),
+            ReroutingPolicy::allow_all(),
+        );
+        let events = interleaved_bursts(peers, n);
+        std::thread::scope(|scope| {
+            for source in partition_by_session(&events, 2) {
+                let mut handle = runtime.handle();
+                scope.spawn(move || {
+                    handle.ingest_stream(source);
+                    handle.finish();
+                });
+            }
+        });
+        let report = runtime.finish();
+        assert!(report.metrics.dropped > 0, "the run must actually saturate");
+        assert_eq!(report.metrics.producers, 2);
+        let processed: u64 = report.metrics.per_shard.iter().map(|m| m.events).sum();
+        assert_eq!(processed + report.metrics.dropped, u64::from(peers * n));
+        for m in &report.metrics.per_shard {
+            assert!(
+                m.max_queue_depth <= queue_capacity,
+                "shard {} reports max_queue_depth {} > capacity {queue_capacity}",
+                m.shard,
+                m.max_queue_depth
+            );
+        }
+    }
+
+    #[test]
+    fn handle_outliving_the_runtime_is_harmless() {
+        let runtime = ShardedRuntime::new(
+            RuntimeConfig::sharded(1),
+            config(),
+            multi_table(1, 60),
+            ReroutingPolicy::allow_all(),
+        );
+        let mut orphan = runtime.handle();
+        let report = runtime.finish();
+        assert_eq!(report.metrics.events, 0);
+        // The queues are gone: events fed to the orphan are silently shed
+        // (counted in the orphan's own counters, which no report will read),
+        // and lifecycle calls are no-ops — nothing panics.
+        orphan.ingest(
+            PeerId(1),
+            ElementaryEvent::Withdraw {
+                timestamp: 0,
+                prefix: p(0),
+            },
+        );
+        orphan.flush();
+        orphan.teardown_session(PeerId(1));
+        orphan.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic inline mode has no producer handles")]
+    fn inline_mode_refuses_to_hand_out_producer_handles() {
+        let runtime = ShardedRuntime::new(
+            RuntimeConfig::deterministic(),
+            config(),
+            multi_table(1, 60),
+            ReroutingPolicy::allow_all(),
+        );
+        let _ = runtime.handle();
+    }
+
+    #[test]
+    fn handle_clone_is_a_fresh_producer() {
+        let runtime = ShardedRuntime::new(
+            RuntimeConfig::sharded(2),
+            config(),
+            multi_table(2, 60),
+            ReroutingPolicy::allow_all(),
+        );
+        let mut a = runtime.handle();
+        a.ingest(
+            PeerId(1),
+            ElementaryEvent::Withdraw {
+                timestamp: 0,
+                prefix: p(0),
+            },
+        );
+        let b = a.clone();
+        assert_eq!(a.events(), 1);
+        assert_eq!(b.events(), 0, "a clone starts with empty counters");
+        a.finish();
+        b.finish();
+        let report = runtime.finish();
+        assert_eq!(report.metrics.events, 1);
+        assert_eq!(
+            report.metrics.producers, 1,
+            "the event-less clone is not counted as a producer"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! configured [`crate::BackpressurePolicy`]), and a full applier queue pushes
 //! back on the shards.
 
+use crate::ingest::EpochClock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
@@ -29,8 +30,9 @@ pub(crate) struct IngestEvent {
     pub peer: PeerId,
     /// The event itself.
     pub event: ElementaryEvent,
-    /// Wall-clock ingest time, for end-to-end latency accounting.
-    pub ingest: Instant,
+    /// Coarse ingest time (nanoseconds on the runtime's [`EpochClock`]), for
+    /// end-to-end latency accounting.
+    pub ingest: u64,
 }
 
 /// Controller → shard messages.
@@ -67,7 +69,8 @@ pub(crate) struct ProcessedEvent {
     pub event: ElementaryEvent,
     /// The accepted inference, if this event triggered one.
     pub result: Option<InferenceResult>,
-    pub ingest: Instant,
+    /// Coarse ingest time (nanoseconds on the runtime's [`EpochClock`]).
+    pub ingest: u64,
 }
 
 /// Shard/controller → applier messages.
@@ -121,6 +124,7 @@ pub(crate) fn shard_loop(
     rx: Receiver<ShardMsg>,
     applier_tx: SyncSender<ApplierMsg>,
     depth: Arc<AtomicUsize>,
+    clock: Arc<EpochClock>,
     latency_window: usize,
 ) -> ShardWorkerReport {
     let sessions = engines.len();
@@ -154,7 +158,10 @@ pub(crate) fn shard_loop(
                         // single-threaded router's behaviour.
                         None => None,
                     };
-                    latency.record(ingest.elapsed().as_micros() as u64);
+                    // The consumer side reads the precise clock: one syscall
+                    // per event here is off the ingest hot path, and the
+                    // coarse stamp is always ≤ the precise reading.
+                    latency.record(clock.precise().saturating_sub(ingest) / 1_000);
                     events += 1;
                     out.push(ProcessedEvent {
                         peer,
@@ -219,6 +226,7 @@ pub(crate) fn applier_loop(
     rx: Receiver<ApplierMsg>,
     barrier_tx: Sender<u64>,
     shards: usize,
+    clock: Arc<EpochClock>,
     latency_window: usize,
 ) -> ApplierReport {
     let mut done = 0usize;
@@ -234,7 +242,8 @@ pub(crate) fn applier_loop(
                     applier.note_event_owned(processed.peer, processed.event);
                     if let Some(result) = processed.result {
                         applier.apply_inference(processed.peer, &result);
-                        reroute_latency.record(processed.ingest.elapsed().as_micros() as u64);
+                        reroute_latency
+                            .record(clock.precise().saturating_sub(processed.ingest) / 1_000);
                     }
                 }
             }

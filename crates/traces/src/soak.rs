@@ -479,6 +479,85 @@ impl<'a> SoakReplay<'a> {
     pub fn flaps_skipped(&self) -> usize {
         self.invalid_flaps + self.cursors.iter().map(|c| c.flaps_skipped).sum::<usize>()
     }
+
+    /// Splits the replay into `k` per-source streams — the input shape of
+    /// the runtime's multi-producer ingest (`swift_runtime::IngestHandle`):
+    ///
+    /// * **sessions are disjoint across sources** (session `i` goes to
+    ///   source `i % k`), so pinning each source to one ingest handle
+    ///   preserves per-session ordering;
+    /// * each source sees its sessions' events and lifecycle markers in
+    ///   exactly the order the merged replay emits them;
+    /// * [`ReplayItem::Converged`] markers are **broadcast**: every source
+    ///   observes the identical convergence sequence at the identical
+    ///   position relative to its own events, so K producers can rendezvous
+    ///   on them to run `resync_after_convergence` at the same logical point
+    ///   as a single-producer replay.
+    ///
+    /// `k` is clamped to at least 1; with more sources than sessions the
+    /// surplus sources carry only convergence markers.
+    ///
+    /// Each source runs its own clone of the lazy merge and filters it, so
+    /// memory stays bounded by the active bursts (times `k`) while the merge
+    /// work is paid once per source — the sources are meant to be consumed
+    /// on `k` separate producer threads, where that work parallelizes.
+    pub fn partition_sources(&self, k: usize) -> Vec<SourceReplay<'a>> {
+        let k = k.max(1);
+        (0..k)
+            .map(|source| SourceReplay {
+                replay: self.clone(),
+                sessions: self
+                    .cursors
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, _)| idx % k == source)
+                    .map(|(_, c)| c.peer)
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// One producer's slice of a [`SoakReplay`]: the events and lifecycle
+/// markers of its pinned sessions, plus every (broadcast) convergence
+/// marker. Obtain from [`SoakReplay::partition_sources`].
+#[derive(Debug, Clone)]
+pub struct SourceReplay<'a> {
+    replay: SoakReplay<'a>,
+    sessions: BTreeSet<PeerId>,
+}
+
+impl SourceReplay<'_> {
+    /// The sessions pinned to this source.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.sessions.iter().copied()
+    }
+
+    /// Flaps the underlying (full) replay had to skip so far — every source
+    /// replays the whole merge, so any fully-consumed source reports the
+    /// corpus-wide count (see [`SoakReplay::flaps_skipped`]).
+    pub fn flaps_skipped(&self) -> usize {
+        self.replay.flaps_skipped()
+    }
+}
+
+impl Iterator for SourceReplay<'_> {
+    type Item = ReplayItem;
+
+    fn next(&mut self) -> Option<ReplayItem> {
+        loop {
+            let item = self.replay.next()?;
+            let keep = match &item {
+                ReplayItem::Converged { .. } => true,
+                ReplayItem::Event { peer, .. }
+                | ReplayItem::SessionDown { peer, .. }
+                | ReplayItem::SessionUp { peer, .. } => self.sessions.contains(peer),
+            };
+            if keep {
+                return Some(item);
+            }
+        }
+    }
 }
 
 impl Iterator for SoakReplay<'_> {
@@ -668,6 +747,104 @@ mod tests {
             .filter(|i| matches!(i, ReplayItem::SessionUp { .. }))
             .count();
         assert_eq!((downs, ups), (1, 1));
+    }
+
+    #[test]
+    fn partition_sources_is_a_disjoint_cover_with_broadcast_convergence() {
+        let corpus = small_corpus();
+        let flaps = pick_feasible_flaps(&corpus, 1);
+        let config = SoakConfig {
+            flaps,
+            ..SoakConfig::default()
+        };
+        let full: Vec<ReplayItem> = SoakReplay::new(&corpus, config.clone()).collect();
+        let converged_times: Vec<_> = full
+            .iter()
+            .filter(|i| matches!(i, ReplayItem::Converged { .. }))
+            .map(|i| i.time())
+            .collect();
+        assert!(!converged_times.is_empty());
+        for k in [1usize, 2, 3, 7] {
+            let template = SoakReplay::new(&corpus, config.clone());
+            let sources = template.partition_sources(k);
+            assert_eq!(sources.len(), k);
+            // Sessions are disjoint across sources and cover the corpus.
+            let mut seen = BTreeSet::new();
+            for source in &sources {
+                for peer in source.peers() {
+                    assert!(seen.insert(peer), "session {peer:?} pinned twice");
+                }
+            }
+            assert_eq!(seen.len(), corpus.num_sessions());
+
+            let streams: Vec<Vec<ReplayItem>> = sources.into_iter().map(|s| s.collect()).collect();
+            // Convergence markers are broadcast: every source sees the full
+            // sequence.
+            for stream in &streams {
+                let got: Vec<_> = stream
+                    .iter()
+                    .filter(|i| matches!(i, ReplayItem::Converged { .. }))
+                    .map(|i| i.time())
+                    .collect();
+                assert_eq!(got, converged_times, "k={k}");
+            }
+            // Non-convergence items: each source's stream is exactly the
+            // full replay filtered to its sessions (order preserved), and
+            // together they cover every item.
+            let total: usize = streams
+                .iter()
+                .map(|s| {
+                    s.iter()
+                        .filter(|i| !matches!(i, ReplayItem::Converged { .. }))
+                        .count()
+                })
+                .sum();
+            let full_total = full
+                .iter()
+                .filter(|i| !matches!(i, ReplayItem::Converged { .. }))
+                .count();
+            assert_eq!(total, full_total, "k={k}");
+            for stream in &streams {
+                let sessions: BTreeSet<PeerId> = stream
+                    .iter()
+                    .filter_map(|i| match i {
+                        ReplayItem::Event { peer, .. }
+                        | ReplayItem::SessionDown { peer, .. }
+                        | ReplayItem::SessionUp { peer, .. } => Some(*peer),
+                        ReplayItem::Converged { .. } => None,
+                    })
+                    .collect();
+                let expected: Vec<&ReplayItem> = full
+                    .iter()
+                    .filter(|i| match i {
+                        ReplayItem::Event { peer, .. }
+                        | ReplayItem::SessionDown { peer, .. }
+                        | ReplayItem::SessionUp { peer, .. } => sessions.contains(peer),
+                        ReplayItem::Converged { .. } => false,
+                    })
+                    .collect();
+                let got: Vec<&ReplayItem> = stream
+                    .iter()
+                    .filter(|i| !matches!(i, ReplayItem::Converged { .. }))
+                    .collect();
+                assert_eq!(got, expected, "k={k}: per-source order is the merged order");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_sources_surplus_sources_carry_only_convergence() {
+        let corpus = small_corpus();
+        let template = SoakReplay::new(&corpus, SoakConfig::default());
+        let k = corpus.num_sessions() + 3;
+        let sources = template.partition_sources(k);
+        let empty = &sources[corpus.num_sessions()];
+        assert_eq!(empty.peers().count(), 0);
+        let items: Vec<ReplayItem> = sources[corpus.num_sessions()].clone().collect();
+        assert!(!items.is_empty(), "convergence markers still broadcast");
+        assert!(items
+            .iter()
+            .all(|i| matches!(i, ReplayItem::Converged { .. })));
     }
 
     #[test]
