@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of applier sharding: reroute-rule install /
+//! remove and stage-1 refresh on a single global [`TwoStageTable`] versus a
+//! prefix-range [`PartitionedTable`], at corpus scale (16 sessions ×
+//! 65 536 prefixes = 1 M stage-1 entries, each session in its own /8 block).
+//!
+//! The install scan walks every stage-1 entry of the table it runs on, so
+//! the partitioned install touches 1/K of the entries — this is the
+//! serialization cost the runtime's `applier_shards` knob removes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swift_bgp::{AsLink, AsPath, Asn, PeerId, Prefix, Route, RouteAttributes, RoutingTable};
+use swift_core::encoding::{PartitionedTable, PrefixPartitioner, ReroutingPolicy, TwoStageTable};
+use swift_core::EncodingConfig;
+
+const SESSIONS: u32 = 16;
+const PER_SESSION: u32 = 65_536;
+const PARTITIONS: usize = 4;
+
+/// Session `s`'s `i`-th prefix, block-spaced exactly like the soak corpus:
+/// each session's 65 536-slot block fills one /8.
+fn p(s: u32, i: u32) -> Prefix {
+    Prefix::nth_slash24(s * PER_SESSION + i)
+}
+
+/// 16 sessions × 65 536 prefixes behind per-session remote links, plus one
+/// shared backup peer with disjoint paths over every prefix.
+fn table() -> RoutingTable {
+    let mut t = RoutingTable::new();
+    let backup = PeerId(1_000);
+    t.add_peer(backup, Asn(1_000));
+    for s in 0..SESSIONS {
+        let peer = PeerId(s + 1);
+        let base = 100 + s * 1_000;
+        t.add_peer(peer, Asn(base));
+        for i in 0..PER_SESSION {
+            let mut attrs =
+                RouteAttributes::from_path(AsPath::new([base, base + 1, base + 10 + i % 3]));
+            attrs.local_pref = Some(200);
+            t.announce(peer, p(s, i), Route::new(peer, attrs, 0));
+            t.announce(
+                backup,
+                p(s, i),
+                Route::new(
+                    backup,
+                    RouteAttributes::from_path(AsPath::new([1_000u32, 30_000 + i % 7])),
+                    0,
+                ),
+            );
+        }
+    }
+    t
+}
+
+fn config() -> EncodingConfig {
+    EncodingConfig {
+        min_prefixes_per_link: 1_000,
+        ..Default::default()
+    }
+}
+
+/// Prefixes spread over all sessions for the refresh benches.
+fn refresh_set() -> Vec<Prefix> {
+    (0..1_024u32)
+        .map(|i| p(i % SESSIONS, (i * 37) % PER_SESSION))
+        .collect()
+}
+
+fn bench_applier(c: &mut Criterion) {
+    let routing = table();
+    let policy = ReroutingPolicy::allow_all();
+    let global = TwoStageTable::build(&routing, &config(), &policy);
+    assert_eq!(global.stage1_len(), (SESSIONS * PER_SESSION) as usize);
+    // Session 0's first-hop link: on every one of its 65 536 paths.
+    let links = [AsLink::new(100, 101)];
+    let home = PrefixPartitioner::new(PARTITIONS).partition_of(&p(0, 0));
+
+    // Install + remove as a pair, so the table returns to its pre-iteration
+    // state and each iteration pays the same stage-1 scan.
+    let mut single = global.clone();
+    c.bench_function("applier/install_remove_single_1m", |b| {
+        b.iter(|| {
+            let (id, installed) = single.install_reroute_tracked(&links);
+            let removed = single.remove_reroute(id);
+            std::hint::black_box((installed, removed))
+        })
+    });
+
+    let mut partitioned =
+        PartitionedTable::from_global(global.clone(), PrefixPartitioner::new(PARTITIONS));
+    c.bench_function("applier/install_remove_partitioned4_1m", |b| {
+        b.iter(|| {
+            let (id, installed) = partitioned.install_reroute_tracked(home, &links);
+            let removed = partitioned.remove_reroute(home, id);
+            std::hint::black_box((installed, removed))
+        })
+    });
+
+    let refresh = refresh_set();
+    let mut single = global.clone();
+    c.bench_function("applier/refresh_1024_single_1m", |b| {
+        b.iter(|| {
+            std::hint::black_box(single.refresh_prefixes(
+                &routing,
+                &policy,
+                refresh.iter().copied(),
+            ))
+        })
+    });
+
+    let mut partitioned =
+        PartitionedTable::from_global(global.clone(), PrefixPartitioner::new(PARTITIONS));
+    c.bench_function("applier/refresh_1024_partitioned4_1m", |b| {
+        b.iter(|| {
+            std::hint::black_box(partitioned.refresh_prefixes(
+                &routing,
+                &policy,
+                refresh.iter().copied(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_applier);
+criterion_main!(benches);

@@ -27,8 +27,12 @@
 //! The ≥4× @ 8-shard target assumes ≥8 physical cores; the harness prints the
 //! available parallelism so CI boxes with fewer cores read as what they are.
 //!
-//! Usage: `exp_concurrency [--smoke] [--shards 1,2,4,8] [--ingest-threads N]`
+//! Usage: `exp_concurrency [--smoke] [--shards 1,2,4,8] [--ingest-threads N]
+//! [--applier-shards K]`
 //!   `--smoke` runs a reduced sweep with scaled-down thresholds (used by CI).
+//!   `--applier-shards K` partitions the applier stage K ways by prefix
+//!   range (decisions are made in the session engines, so the sweep's
+//!   equivalence assertion is unaffected by K).
 
 use std::time::Instant;
 use swift_bench::harness::{available_cores, mode_line, secs, ExpArgs};
@@ -55,6 +59,7 @@ fn main() {
     let args = ExpArgs::parse();
     let smoke = args.flag("--smoke");
     let ingest_threads = args.usize_value("--ingest-threads", 1).max(1);
+    let applier_shards = args.usize_value("--applier-shards", 1).max(1);
     let shard_counts: Vec<usize> = args.usize_list("--shards").unwrap_or_else(|| {
         if smoke {
             vec![1, 2]
@@ -110,7 +115,9 @@ fn main() {
 
     let cores = available_cores();
     println!("exp_concurrency — sharded multi-session runtime vs single-threaded baseline");
-    println!("available parallelism: {cores} core(s), ingest-threads: {ingest_threads}\n");
+    println!(
+        "available parallelism: {cores} core(s), ingest-threads: {ingest_threads}, applier-shards: {applier_shards}\n"
+    );
 
     for sweep in &sweeps {
         let trace_config = MultiSessionConfig {
@@ -188,7 +195,10 @@ fn main() {
         };
         for &shards in &shard_counts {
             let mut runtime = ShardedRuntime::new(
-                RuntimeConfig::sharded(shards),
+                RuntimeConfig {
+                    applier_shards,
+                    ..RuntimeConfig::sharded(shards)
+                },
                 swift_config.clone(),
                 trace.table.clone(),
                 ReroutingPolicy::allow_all(),
@@ -226,7 +236,10 @@ fn main() {
                  diverged from the baseline"
             );
 
-            let label = format!("shards={shards:<2} prod={:<2}", report.metrics.producers);
+            let label = format!(
+                "s={shards} a={applier_shards} p={}",
+                report.metrics.producers
+            );
             println!(
                 "{}  (resync {:.3} s)",
                 mode_line(

@@ -26,13 +26,20 @@
 //! reach identical per-session reroute decisions — the soak's numbers are
 //! only trustworthy because the work is provably the same. Reported per
 //! mode: wall time, events/s, resyncs and rules removed, reroute latency
-//! p50/p99, per-shard queue high-waters.
+//! p50/p99, per-shard and per-applier queue high-waters, and one line per
+//! applier shard (installs, deferred-RIB high-water and events folded at
+//! resync). With `--applier-shards K` the serialized applier stage is
+//! partitioned K ways by prefix range; K = 1 is the single-applier
+//! reference. The run's trajectory (wall, ev/s, latency percentiles,
+//! per-stage queue high-waters per mode) is also written to
+//! `BENCH_soak.json` (`--bench-out PATH` overrides).
 //!
 //! Tiers: `--smoke` (6 sessions × 4k prefixes, CI-sized) vs the default full
 //! tier (213 sessions × 10k prefixes, ~2.1M-prefix vantage table — run it on
 //! a multi-core box with a few GB of memory).
 //!
-//! Usage: `exp_soak [--smoke] [--shards 2,4] [--ingest-threads N] [--no-churn]`
+//! Usage: `exp_soak [--smoke] [--shards 2,4] [--applier-shards K]
+//! [--ingest-threads N] [--no-churn] [--bench-out PATH]`
 
 use std::collections::BTreeMap;
 use std::sync::{Barrier, Mutex};
@@ -67,13 +74,17 @@ struct SoakOutcome {
 /// markers and convergence points.
 fn drive(
     shards: usize,
+    applier_shards: usize,
     template: &SoakReplay<'_>,
     table: &swift_bgp::RoutingTable,
     swift: &SwiftConfig,
     flap_routes: &FlapRoutes,
 ) -> SoakOutcome {
     let mut runtime = ShardedRuntime::new(
-        RuntimeConfig::sharded(shards),
+        RuntimeConfig {
+            applier_shards,
+            ..RuntimeConfig::sharded(shards)
+        },
         swift.clone(),
         table.clone(),
         ReroutingPolicy::allow_all(),
@@ -126,8 +137,10 @@ fn drive(
 /// (`convergence_markers`, known from the baseline pass) — the producers'
 /// own streams gate the timing, so no extra merge pass runs on the main
 /// thread.
+#[allow(clippy::too_many_arguments)]
 fn drive_multi(
     shards: usize,
+    applier_shards: usize,
     producers: usize,
     convergence_markers: usize,
     template: &SoakReplay<'_>,
@@ -137,7 +150,10 @@ fn drive_multi(
 ) -> SoakOutcome {
     assert!(shards > 0, "multi-producer ingest needs a sharded runtime");
     let mut runtime = ShardedRuntime::new(
-        RuntimeConfig::sharded(shards),
+        RuntimeConfig {
+            applier_shards,
+            ..RuntimeConfig::sharded(shards)
+        },
         swift.clone(),
         table.clone(),
         ReroutingPolicy::allow_all(),
@@ -262,11 +278,81 @@ fn drive_multi(
     }
 }
 
+/// One line per applier shard: where installs landed, how deep its queue
+/// and deferred-RIB buffer got, and how long it was actually busy — the
+/// satellite view behind the aggregate `adepth` column.
+fn print_per_applier(metrics: &swift_runtime::RuntimeMetrics) {
+    for a in &metrics.per_applier {
+        println!(
+            "      applier {}: {:>8} ev  {:>6} installs  queue hw {:<3}  rib pending hw {:<6} ({} folded over {} resyncs)  busy {:.3} s",
+            a.shard,
+            a.events,
+            a.installs,
+            a.max_queue_depth,
+            a.pending_high_water,
+            a.pending_folded,
+            a.resyncs,
+            secs(a.busy),
+        );
+    }
+}
+
+/// One `BENCH_soak.json` trajectory entry, hand-rolled (no JSON dependency).
+#[allow(clippy::too_many_arguments)]
+fn bench_row(
+    label: &str,
+    shards: usize,
+    applier_shards: usize,
+    outcome: &SoakOutcome,
+    rate: f64,
+) -> String {
+    let m = &outcome.report.metrics;
+    let pending_hw = m
+        .per_applier
+        .iter()
+        .map(|a| a.pending_high_water)
+        .max()
+        .unwrap_or(0);
+    let installs: u64 = outcome
+        .report
+        .actions
+        .iter()
+        .map(|a| a.rules_installed as u64)
+        .sum();
+    format!(
+        concat!(
+            "{{\"label\":\"{}\",\"shards\":{},\"applier_shards\":{},\"producers\":{},",
+            "\"wall_s\":{:.6},\"ev_per_s\":{:.1},\"reroute_p50_us\":{},\"reroute_p99_us\":{},",
+            "\"shard_queue_hw\":{},\"applier_queue_hw\":{},\"rib_pending_hw\":{},",
+            "\"installs\":{},\"resyncs\":{},\"rules_removed\":{}}}"
+        ),
+        label,
+        shards,
+        applier_shards,
+        outcome.producers,
+        secs(outcome.pipeline),
+        rate,
+        m.reroute_latency.p50,
+        m.reroute_latency.p99,
+        swift_bench::harness::max_queue_depth(m),
+        swift_bench::harness::max_applier_depth(m),
+        pending_hw,
+        installs,
+        outcome.resyncs,
+        outcome.rules_removed,
+    )
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let smoke = args.flag("--smoke");
     let churn = !args.flag("--no-churn");
     let ingest_threads = args.usize_value("--ingest-threads", 1).max(1);
+    let applier_shards = args.usize_value("--applier-shards", 1).max(1);
+    let bench_out = args
+        .value("--bench-out")
+        .unwrap_or("BENCH_soak.json")
+        .to_string();
     let shard_counts: Vec<usize> =
         args.usize_list("--shards")
             .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![2, 4, 8] });
@@ -331,18 +417,19 @@ fn main() {
 
     println!("exp_soak — corpus soak replay through the sharded runtime");
     println!(
-        "tier: {} | sessions={} table={}/session bursts={} flaps scheduled={} ingest-threads={} | {} core(s)\n",
+        "tier: {} | sessions={} table={}/session bursts={} flaps scheduled={} ingest-threads={} applier-shards={} | {} core(s)\n",
         if smoke { "smoke" } else { "full" },
         corpus.num_sessions(),
         corpus.config().table_size,
         corpus.total_bursts(),
         flaps.len(),
         ingest_threads,
+        applier_shards,
         swift_bench::harness::available_cores(),
     );
 
     // --- Inline baseline --------------------------------------------------
-    let baseline = drive(0, &template, &table, &swift_config, &flap_routes);
+    let baseline = drive(0, 1, &template, &table, &swift_config, &flap_routes);
     let session_peers: Vec<PeerId> = template.session_peers().map(|(p, _)| p).collect();
     let base_decisions =
         per_session_decisions(&baseline.report.actions, session_peers.iter().copied());
@@ -372,6 +459,8 @@ fn main() {
         );
     }
 
+    let mut bench_rows = vec![bench_row("inline", 0, 1, &baseline, base_rate)];
+
     // --- Sharded modes ----------------------------------------------------
     for &shards in &shard_counts {
         let outcome = if ingest_threads > 1 {
@@ -379,6 +468,7 @@ fn main() {
             // markers; the coordinator serves exactly the in-stream ones.
             drive_multi(
                 shards,
+                applier_shards,
                 ingest_threads,
                 baseline.resyncs - 1,
                 &template,
@@ -387,7 +477,14 @@ fn main() {
                 &flap_routes,
             )
         } else {
-            drive(shards, &template, &table, &swift_config, &flap_routes)
+            drive(
+                shards,
+                applier_shards,
+                &template,
+                &table,
+                &swift_config,
+                &flap_routes,
+            )
         };
         assert_eq!(outcome.report.metrics.dropped, 0, "lossless under Block");
         assert_eq!(
@@ -406,7 +503,7 @@ fn main() {
             "sharded soak ({shards} shards, {} producers) diverged from the inline baseline",
             outcome.producers,
         );
-        let label = format!("shards={shards:<2} prod={:<2}", outcome.producers);
+        let label = format!("s={shards} a={applier_shards} p={}", outcome.producers);
         println!(
             "{}  resyncs {} ({} rules removed)",
             mode_line(
@@ -419,10 +516,17 @@ fn main() {
             outcome.resyncs,
             outcome.rules_removed,
         );
+        print_per_applier(&outcome.report.metrics);
+        let rate = events as f64 / secs(outcome.pipeline);
+        bench_rows.push(bench_row(&label, shards, applier_shards, &outcome, rate));
     }
 
+    let trajectory = format!("[\n  {}\n]\n", bench_rows.join(",\n  "));
+    std::fs::write(&bench_out, trajectory).unwrap_or_else(|e| panic!("writing {bench_out}: {e}"));
+    println!("\ntrajectory written to {bench_out}");
+
     println!(
-        "\nsoak done: every surviving session's reroute decisions are identical across all modes"
+        "soak done: every surviving session's reroute decisions are identical across all modes"
     );
     if smoke {
         println!("(smoke tier — run without --smoke on a multi-core box for the full 213-session corpus)");

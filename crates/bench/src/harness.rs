@@ -96,10 +96,20 @@ pub fn max_queue_depth(metrics: &RuntimeMetrics) -> usize {
         .unwrap_or(0)
 }
 
+/// The deepest queue high-water across all applier shards of a run.
+pub fn max_applier_depth(metrics: &RuntimeMetrics) -> usize {
+    metrics
+        .per_applier
+        .iter()
+        .map(|m| m.max_queue_depth)
+        .max()
+        .unwrap_or(0)
+}
+
 /// The common report line of one sharded-runtime mode: wall time, event
 /// rate, speedup vs a baseline rate, reroute-latency percentiles and the
-/// queue high-water. Callers append mode-specific fields (resync counts,
-/// resync time) before printing.
+/// shard/applier queue high-waters. Callers append mode-specific fields
+/// (resync counts, resync time) before printing.
 pub fn mode_line(
     label: &str,
     pipeline: Duration,
@@ -113,13 +123,14 @@ pub fn mode_line(
         0.0
     };
     format!(
-        "  {label:<18}: {:>8.3} s  {:>10.0} ev/s  speedup {:>5.2}x  reroute p50/p99 {:>6}/{:<8} µs  maxdepth {}",
+        "  {label:<18}: {:>8.3} s  {:>10.0} ev/s  speedup {:>5.2}x  reroute p50/p99 {:>6}/{:<8} µs  maxdepth {}  adepth {}",
         secs(pipeline),
         rate,
         if base_rate > 0.0 { rate / base_rate } else { 0.0 },
         metrics.reroute_latency.p50,
         metrics.reroute_latency.p99,
         max_queue_depth(metrics),
+        max_applier_depth(metrics),
     )
 }
 

@@ -5,16 +5,20 @@
 //! * [`policy`] — operator rerouting policies;
 //! * [`backup`] — pre-computation of per-prefix backup next-hops;
 //! * [`two_stage`] — the two-stage forwarding table and reroute-rule
-//!   installation.
+//!   installation;
+//! * [`partitioned`] — prefix-range partitioning of the two-stage table
+//!   (applier sharding).
 
 pub mod allocator;
 pub mod backup;
+pub mod partitioned;
 pub mod policy;
 pub mod tag;
 pub mod two_stage;
 
 pub use allocator::EncodingPlan;
 pub use backup::{select_backup, BackupTable, PrefixBackups};
+pub use partitioned::{PartitionedTable, PrefixPartitioner};
 pub use policy::ReroutingPolicy;
 pub use tag::{TagLayout, TagRule};
 pub use two_stage::{RerouteId, Stage2Rule, TwoStageTable};

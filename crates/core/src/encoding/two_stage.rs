@@ -344,6 +344,39 @@ impl TwoStageTable {
         &self.stage2
     }
 
+    /// A structural clone restricted to the stage-1 entries selected by
+    /// `keep`: the offline-precomputed state (encoding plan, tag layout,
+    /// next-hop index — §5) is cloned verbatim so every partition tags and
+    /// encodes exactly like the global table, only the default stage-2 rules
+    /// carry over (SWIFT rules belong to whichever partition installed them)
+    /// and the reroute-id space starts fresh. The building block of
+    /// [`crate::encoding::PartitionedTable`].
+    pub fn partition_clone<F>(&self, keep: F) -> Self
+    where
+        F: Fn(&Prefix) -> bool,
+    {
+        TwoStageTable {
+            layout: self.layout.clone(),
+            plan: self.plan.clone(),
+            stage1: self
+                .stage1
+                .iter()
+                .filter(|(prefix, _)| keep(prefix))
+                .map(|(prefix, tag)| (*prefix, *tag))
+                .collect(),
+            stage2: self
+                .stage2
+                .iter()
+                .filter(|r| !r.swift_installed)
+                .cloned()
+                .collect(),
+            nexthop_index: self.nexthop_index.clone(),
+            nexthops: self.nexthops.clone(),
+            max_depth: self.max_depth,
+            next_reroute: 0,
+        }
+    }
+
     /// Encoding performance (§6.4): among `predicted` prefixes, the fraction
     /// whose tag lets SWIFT actually reroute them around `links` — i.e. their
     /// path crosses an inferred link at an encoded position *and* a backup

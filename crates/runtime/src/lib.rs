@@ -36,12 +36,19 @@
 //!   per-session verdict stream is identical to the single-threaded
 //!   [`SwiftRouter`](swift_core::SwiftRouter)'s, regardless of shard count —
 //!   provided each session stays pinned to one handle (see [`IngestHandle`]).
-//! * **One applier** serializes everything that must be serial: the
-//!   [`TwoStageTable`](swift_core::TwoStageTable) rule installs of accepted
-//!   inferences (in arrival order) and the reconvergence resyncs. Routing-RIB
-//!   bookkeeping is deferred (see
-//!   [`Applier::with_deferred_rib`](swift_core::pipeline::Applier)) so the
-//!   applier stays off the per-event hot path.
+//! * **Appliers are sharded by prefix range**: the serialized pipeline half
+//!   is partitioned across `applier_shards` applier threads, each owning one
+//!   prefix-range partition of the
+//!   [`TwoStageTable`](swift_core::TwoStageTable) (shared global encoding
+//!   plan — see [`PartitionedTable`](swift_core::encoding::PartitionedTable))
+//!   plus the routing state of that range. Shard workers route each processed
+//!   event to the applier shard owning the event's prefix, so rule installs
+//!   of different sessions proceed concurrently with no shared locks; within
+//!   one applier everything that must be serial (installs in arrival order,
+//!   resyncs) still is. The default `applier_shards = 1` is the old single
+//!   `swift-applier` thread, bit for bit. Routing-RIB bookkeeping is deferred
+//!   (see [`Applier::with_deferred_rib`](swift_core::pipeline::Applier)) so
+//!   appliers stay off the per-event hot path.
 //! * **Bounded queues everywhere**: a full shard queue blocks the ingest (or
 //!   sheds the batch under [`BackpressurePolicy::DropNewest`], counted per
 //!   shard); a full applier queue blocks the shards.
@@ -80,10 +87,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use swift_bgp::{Asn, ElementaryEvent, PeerId, Prefix, Route, RoutingTable};
-use swift_core::encoding::ReroutingPolicy;
+use swift_core::encoding::{PrefixPartitioner, ReroutingPolicy};
 use swift_core::inference::EngineStatus;
 use swift_core::metrics::{LatencyRecorder, LatencySummary, ProducerCounters};
-use swift_core::pipeline::{session_engines, Applier, SessionEngine};
+use swift_core::pipeline::{partition_appliers, session_engines, Applier, SessionEngine};
 use swift_core::{RerouteAction, SwiftConfig};
 use worker::{ApplierMsg, ShardMsg};
 
@@ -114,8 +121,14 @@ pub struct RuntimeConfig {
     pub batch_size: usize,
     /// Bounded depth of each shard's ingest queue, in batches.
     pub queue_capacity: usize,
-    /// Bounded depth of the applier's queue, in batches.
+    /// Bounded depth of each applier shard's queue, in batches.
     pub applier_capacity: usize,
+    /// Number of applier shards the serialized pipeline half is partitioned
+    /// across (prefix-range partitioning of the forwarding table — see
+    /// [`swift_core::encoding::PartitionedTable`]). `1` (the default) is the
+    /// single-applier behaviour, kept as the decision-equivalence reference;
+    /// ignored in deterministic inline mode.
+    pub applier_shards: usize,
     /// Behaviour when a shard queue is full.
     pub backpressure: BackpressurePolicy,
     /// Retained samples per latency recorder (ring buffer).
@@ -143,6 +156,7 @@ impl RuntimeConfig {
             batch_size: 256,
             queue_capacity: 64,
             applier_capacity: 256,
+            applier_shards: 1,
             backpressure: BackpressurePolicy::Block,
             latency_window: 16_384,
             clock_refresh_interval: 256,
@@ -183,6 +197,36 @@ pub struct ShardMetrics {
     pub events_per_sec: f64,
 }
 
+/// Per-applier-shard counters reported by [`RuntimeMetrics::per_applier`].
+#[derive(Debug, Clone)]
+pub struct ApplierShardMetrics {
+    /// Applier shard index (= forwarding-table partition index).
+    pub shard: usize,
+    /// Events folded into this shard's deferred RIB buffer.
+    pub events: u64,
+    /// Batches received from the shard workers.
+    pub batches: u64,
+    /// Data-plane rule installs performed by accepted inferences.
+    pub installs: u64,
+    /// High-water mark of this applier's queue, in batches — an upper
+    /// estimate under concurrent shard workers, clamped to the queue's
+    /// physical capacity.
+    pub max_queue_depth: usize,
+    /// Accumulated time spent processing messages (not waiting on the
+    /// queue) — where the serialization point sits.
+    pub busy: Duration,
+    /// Events folded per second of busy time.
+    pub events_per_sec: f64,
+    /// Rule installs per second of busy time.
+    pub installs_per_sec: f64,
+    /// High-water mark of the deferred-RIB buffer, in events.
+    pub pending_high_water: usize,
+    /// Deferred events folded into the RIB mirror at resync time.
+    pub pending_folded: u64,
+    /// Resyncs served by this applier shard.
+    pub resyncs: u64,
+}
+
 /// Aggregate runtime metrics.
 #[derive(Debug, Clone)]
 pub struct RuntimeMetrics {
@@ -207,6 +251,8 @@ pub struct RuntimeMetrics {
     pub events_per_sec: f64,
     /// Per-shard breakdown (empty in deterministic mode).
     pub per_shard: Vec<ShardMetrics>,
+    /// Per-applier-shard breakdown (empty in deterministic mode).
+    pub per_applier: Vec<ApplierShardMetrics>,
     /// Ingest → engine-processed latency across all shards (µs).
     pub event_latency: LatencySummary,
     /// Ingest → reroute-rules-installed latency (µs), one sample per accepted
@@ -224,14 +270,70 @@ pub struct RuntimeReport {
     pub actions: Vec<RerouteAction>,
     /// Metrics collected while the runtime ran.
     pub metrics: RuntimeMetrics,
-    applier: Applier,
+    appliers: Vec<Applier>,
+    partitioner: PrefixPartitioner,
 }
 
 impl RuntimeReport {
     /// The serialized pipeline half (routing table, forwarding table) in its
     /// final state.
+    ///
+    /// # Panics
+    ///
+    /// When the runtime ran with `applier_shards >= 2` — the serialized state
+    /// is then partitioned; use [`RuntimeReport::appliers`] for the
+    /// partitions or the aggregate accessors
+    /// ([`RuntimeReport::swift_rule_count`],
+    /// [`RuntimeReport::pending_events`],
+    /// [`RuntimeReport::forwarding_next_hop`]).
     pub fn applier(&self) -> &Applier {
-        &self.applier
+        match self.appliers.as_slice() {
+            [single] => single,
+            parts => panic!(
+                "applier() needs applier_shards = 1, but the runtime ran {} applier shards; \
+                 use appliers() or the aggregate accessors",
+                parts.len()
+            ),
+        }
+    }
+
+    /// The per-shard appliers (one entry with `applier_shards = 1` or in
+    /// inline mode), in partition order.
+    pub fn appliers(&self) -> &[Applier] {
+        &self.appliers
+    }
+
+    /// The prefix partitioner the applier shards were keyed by.
+    pub fn partitioner(&self) -> &PrefixPartitioner {
+        &self.partitioner
+    }
+
+    /// Distinct SWIFT-installed data-plane rules across all applier shards
+    /// (claims on a shared rule count once, exactly like
+    /// [`TwoStageTable::swift_rule_count`](swift_core::TwoStageTable::swift_rule_count)).
+    pub fn swift_rule_count(&self) -> usize {
+        self.appliers
+            .iter()
+            .flat_map(|a| {
+                a.forwarding()
+                    .stage2_rules()
+                    .iter()
+                    .filter(|r| r.swift_installed)
+                    .map(|r| r.rule)
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+
+    /// Events still buffered in the applier shards' deferred-RIB buffers.
+    pub fn pending_events(&self) -> usize {
+        self.appliers.iter().map(Applier::pending_events).sum()
+    }
+
+    /// The next-hop currently forwarding traffic for `prefix`, resolved on
+    /// the applier shard owning the prefix.
+    pub fn forwarding_next_hop(&self, prefix: &Prefix) -> Option<PeerId> {
+        self.appliers[self.partitioner.partition_of(prefix)].forwarding_next_hop(prefix)
     }
 
     /// The reroute actions of one session, in acceptance order.
@@ -244,9 +346,15 @@ impl RuntimeReport {
 struct Sharded {
     shard_txs: Vec<SyncSender<ShardMsg>>,
     shard_handles: Vec<JoinHandle<worker::ShardWorkerReport>>,
-    applier_tx: SyncSender<ApplierMsg>,
-    applier_handle: JoinHandle<worker::ApplierReport>,
-    barrier_rx: Receiver<u64>,
+    applier_txs: Vec<SyncSender<ApplierMsg>>,
+    applier_handles: Vec<JoinHandle<worker::ApplierReport>>,
+    /// Queue high-water gauge per applier shard, shared with the workers.
+    applier_high: Vec<Arc<AtomicUsize>>,
+    partitioner: PrefixPartitioner,
+    barrier_rx: Receiver<(usize, u64)>,
+    /// Per applier shard: number of barrier seqs fully acked (= highest
+    /// completed seq + 1).
+    barrier_acked: Vec<u64>,
     next_barrier: u64,
     /// The producer-side state shared by every [`IngestHandle`].
     shared: Arc<ProducerShared>,
@@ -319,24 +427,48 @@ impl ShardedRuntime {
         }
 
         let clock = Arc::new(EpochClock::new());
-        let applier = Applier::new(swift.clone(), table, policy).with_deferred_rib();
-        let (applier_tx, applier_rx) = mpsc::sync_channel(config.applier_capacity.max(1));
-        let (barrier_tx, barrier_rx) = mpsc::channel();
         let latency_window = config.latency_window;
-        let applier_clock = Arc::clone(&clock);
-        let applier_handle = std::thread::Builder::new()
-            .name("swift-applier".into())
-            .spawn(move || {
-                worker::applier_loop(
-                    applier,
-                    applier_rx,
-                    barrier_tx,
-                    shards,
-                    applier_clock,
-                    latency_window,
-                )
-            })
-            .expect("spawn applier thread");
+        let applier_capacity = config.applier_capacity.max(1);
+        let partitioner = PrefixPartitioner::new(config.applier_shards.max(1));
+        // One applier per forwarding-table partition; with one partition this
+        // is exactly the pre-sharding applier on the original table.
+        let appliers: Vec<Applier> = partition_appliers(&swift, table, &policy, &partitioner)
+            .into_iter()
+            .map(Applier::with_deferred_rib)
+            .collect();
+        let (barrier_tx, barrier_rx) = mpsc::channel();
+        let mut applier_txs = Vec::with_capacity(appliers.len());
+        let mut applier_handles = Vec::with_capacity(appliers.len());
+        let mut applier_depth = Vec::with_capacity(appliers.len());
+        let mut applier_high = Vec::with_capacity(appliers.len());
+        let applier_count = appliers.len();
+        for (idx, applier) in appliers.into_iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel(applier_capacity);
+            let depth = Arc::new(AtomicUsize::new(0));
+            let high = Arc::new(AtomicUsize::new(0));
+            let worker = worker::ApplierWorker {
+                idx,
+                applier,
+                rx,
+                barrier_tx: barrier_tx.clone(),
+                workers: shards,
+                clock: Arc::clone(&clock),
+                latency_window,
+                depth: Arc::clone(&depth),
+            };
+            let handle = std::thread::Builder::new()
+                .name(if applier_count == 1 {
+                    "swift-applier".into()
+                } else {
+                    format!("swift-applier-{idx}")
+                })
+                .spawn(move || worker::applier_loop(worker))
+                .expect("spawn applier thread");
+            applier_txs.push(tx);
+            applier_handles.push(handle);
+            applier_depth.push(depth);
+            applier_high.push(high);
+        }
 
         let mut shard_txs = Vec::with_capacity(shards);
         let mut shard_handles = Vec::with_capacity(shards);
@@ -344,22 +476,30 @@ impl ShardedRuntime {
         for (i, engines) in partitions.into_iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
             let shard_depth = Arc::new(AtomicUsize::new(0));
-            let applier_tx = applier_tx.clone();
-            let depth_clone = Arc::clone(&shard_depth);
-            let shard_clock = Arc::clone(&clock);
+            let links: Vec<worker::ApplierLink> = applier_txs
+                .iter()
+                .zip(&applier_depth)
+                .zip(&applier_high)
+                .map(|((tx, depth), high)| worker::ApplierLink {
+                    tx: tx.clone(),
+                    depth: Arc::clone(depth),
+                    high: Arc::clone(high),
+                })
+                .collect();
+            let worker = worker::ShardWorker {
+                shard: i,
+                engines,
+                rx,
+                appliers: links,
+                partitioner,
+                applier_capacity,
+                depth: Arc::clone(&shard_depth),
+                clock: Arc::clone(&clock),
+                latency_window,
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("swift-shard-{i}"))
-                .spawn(move || {
-                    worker::shard_loop(
-                        i,
-                        engines,
-                        rx,
-                        applier_tx,
-                        depth_clone,
-                        shard_clock,
-                        latency_window,
-                    )
-                })
+                .spawn(move || worker::shard_loop(worker))
                 .expect("spawn shard thread");
             shard_txs.push(tx);
             shard_handles.push(handle);
@@ -384,9 +524,12 @@ impl ShardedRuntime {
             mode: Some(Mode::Sharded(Box::new(Sharded {
                 shard_txs,
                 shard_handles,
-                applier_tx,
-                applier_handle,
+                applier_txs,
+                applier_handles,
+                applier_high,
+                partitioner,
                 barrier_rx,
+                barrier_acked: vec![0; applier_count],
                 next_barrier: 0,
                 shared,
                 default_handle: Some(default_handle),
@@ -554,12 +697,13 @@ impl ShardedRuntime {
                 for tx in &sharded.shard_txs {
                     tx.send(ShardMsg::Barrier(seq)).expect("shard thread alive");
                 }
-                // Barriers complete in order: block until ours comes back.
-                loop {
-                    let done = sharded.barrier_rx.recv().expect("applier thread alive");
-                    if done >= seq {
-                        break;
-                    }
+                // Each shard worker broadcasts the barrier to every applier
+                // shard; an applier acks once all workers' copies arrived.
+                // Barriers complete in order: block until every applier shard
+                // has acked ours.
+                while sharded.barrier_acked.iter().any(|&acked| acked <= seq) {
+                    let (idx, done) = sharded.barrier_rx.recv().expect("applier thread alive");
+                    sharded.barrier_acked[idx] = sharded.barrier_acked[idx].max(done + 1);
                 }
             }
         }
@@ -573,12 +717,19 @@ impl ShardedRuntime {
         match self.mode.as_mut().expect("runtime live") {
             Mode::Inline(inline) => inline.applier.resync_after_convergence(),
             Mode::Sharded(sharded) => {
+                // Fan the resync out: every applier shard retires the
+                // outstanding reroutes and retags the dirty prefixes of its
+                // own range (the pipeline is already drained by the flush, so
+                // the rendezvous is just the K replies).
                 let (reply_tx, reply_rx) = mpsc::channel();
-                sharded
-                    .applier_tx
-                    .send(ApplierMsg::Resync(reply_tx))
-                    .expect("applier thread alive");
-                reply_rx.recv().expect("applier replies")
+                for tx in &sharded.applier_txs {
+                    tx.send(ApplierMsg::Resync(reply_tx.clone()))
+                        .expect("applier thread alive");
+                }
+                drop(reply_tx);
+                (0..sharded.applier_txs.len())
+                    .map(|_| reply_rx.recv().expect("applier replies"))
+                    .sum()
             }
         }
     }
@@ -619,10 +770,12 @@ impl ShardedRuntime {
                             0.0
                         },
                         per_shard: Vec::new(),
+                        per_applier: Vec::new(),
                         event_latency: event_latency.summary(),
                         reroute_latency: reroute_latency.summary(),
                     },
-                    applier: inline.applier,
+                    appliers: vec![inline.applier],
+                    partitioner: PrefixPartitioner::new(1),
                 })
             }
             Mode::Sharded(mut sharded) => {
@@ -645,11 +798,13 @@ impl ShardedRuntime {
                     .map(|h| h.join().expect("shard thread exits cleanly"))
                     .collect();
                 shard_reports.sort_by_key(|r| r.shard);
-                drop(sharded.applier_tx);
-                let applier_report = sharded
-                    .applier_handle
-                    .join()
-                    .expect("applier thread exits cleanly");
+                drop(sharded.applier_txs);
+                let mut applier_reports: Vec<worker::ApplierReport> = sharded
+                    .applier_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("applier thread exits cleanly"))
+                    .collect();
+                applier_reports.sort_by_key(|r| r.idx);
                 let wall = self
                     .started
                     .get()
@@ -687,8 +842,41 @@ impl ShardedRuntime {
                 let dropped = producers.total_dropped();
                 let secs = wall.as_secs_f64();
                 let delivered = producers.events.saturating_sub(dropped);
+                // Merge the applier shards: actions concatenated in partition
+                // order (a session's installs all live on its home applier,
+                // so per-session subsequences are preserved), latencies
+                // merged, one metrics row per applier shard.
+                let mut actions = Vec::new();
+                let mut merged_reroute = LatencyRecorder::new(self.config.latency_window);
+                let mut per_applier = Vec::with_capacity(applier_reports.len());
+                for r in &applier_reports {
+                    actions.extend_from_slice(r.applier.actions());
+                    merged_reroute.merge(&r.reroute_latency);
+                    let busy = r.busy.as_secs_f64();
+                    per_applier.push(ApplierShardMetrics {
+                        shard: r.idx,
+                        events: r.events,
+                        batches: r.batches,
+                        installs: r.installs,
+                        max_queue_depth: sharded.applier_high[r.idx].load(Ordering::Relaxed),
+                        busy: r.busy,
+                        events_per_sec: if busy > 0.0 {
+                            r.events as f64 / busy
+                        } else {
+                            0.0
+                        },
+                        installs_per_sec: if busy > 0.0 {
+                            r.installs as f64 / busy
+                        } else {
+                            0.0
+                        },
+                        pending_high_water: r.pending_high_water,
+                        pending_folded: r.pending_folded,
+                        resyncs: r.resyncs,
+                    });
+                }
                 Some(RuntimeReport {
-                    actions: applier_report.applier.actions().to_vec(),
+                    actions,
                     metrics: RuntimeMetrics {
                         shards: self.config.shards,
                         producers: producers.producers,
@@ -701,10 +889,12 @@ impl ShardedRuntime {
                             0.0
                         },
                         per_shard,
+                        per_applier,
                         event_latency: merged_latency.summary(),
-                        reroute_latency: applier_report.reroute_latency.summary(),
+                        reroute_latency: merged_reroute.summary(),
                     },
-                    applier: applier_report.applier,
+                    appliers: applier_reports.into_iter().map(|r| r.applier).collect(),
+                    partitioner: sharded.partitioner,
                 })
             }
         }
@@ -1316,5 +1506,255 @@ mod tests {
         let report = runtime.finish();
         assert!(report.actions.is_empty());
         assert_eq!(report.metrics.events, 1);
+    }
+
+    /// Block-spaced prefix for session `s`: the corpus generator spaces
+    /// sessions 65 536 prefix slots apart, which puts each session's block in
+    /// its own /8 — the invariant the applier partitioner keys on.
+    fn bp(s: u32, i: u32) -> Prefix {
+        p(s * 65_536 + i)
+    }
+
+    /// [`multi_table`] with block-spaced prefixes, so applier partitions
+    /// actually split the forwarding table instead of all landing in one /8.
+    fn block_table(peers: u32, n: u32) -> RoutingTable {
+        let mut t = RoutingTable::new();
+        let backup = PeerId(1_000);
+        t.add_peer(backup, Asn(1_000));
+        for s in 0..peers {
+            let peer = PeerId(s + 1);
+            t.add_peer(peer, Asn(s + 1));
+            for i in 0..n {
+                let mut attrs =
+                    RouteAttributes::from_path(AsPath::new([s + 1, 10_000 + s, 20_000 + s]));
+                attrs.local_pref = Some(200);
+                t.announce(peer, bp(s, i), Route::new(peer, attrs, 0));
+                t.announce(
+                    backup,
+                    bp(s, i),
+                    Route::new(
+                        backup,
+                        RouteAttributes::from_path(AsPath::new([1_000u32, 30_000 + i % 7])),
+                        0,
+                    ),
+                );
+            }
+        }
+        t
+    }
+
+    /// A withdrawal burst on every session over block-spaced prefixes,
+    /// interleaved round-robin.
+    fn block_bursts(peers: u32, n: u32) -> Vec<(PeerId, ElementaryEvent)> {
+        let mut events = Vec::new();
+        for i in 0..n {
+            for s in 0..peers {
+                events.push((
+                    PeerId(s + 1),
+                    ElementaryEvent::Withdraw {
+                        timestamp: u64::from(i * peers + s) * 1_000,
+                        prefix: bp(s, i),
+                    },
+                ));
+            }
+        }
+        events
+    }
+
+    fn run_blocks(shards: usize, applier_shards: usize, peers: u32, n: u32) -> RuntimeReport {
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig {
+                batch_size: 16,
+                applier_shards,
+                ..RuntimeConfig::sharded(shards)
+            },
+            config(),
+            block_table(peers, n),
+            ReroutingPolicy::allow_all(),
+        );
+        runtime.ingest_stream(block_bursts(peers, n));
+        runtime.finish()
+    }
+
+    #[test]
+    fn applier_shards_reach_identical_decisions_and_rules() {
+        let peers = 3u32;
+        let n = 200u32;
+        let inline = run_blocks(0, 1, peers, n);
+        let single = run_blocks(2, 1, peers, n);
+        assert!(inline.swift_rule_count() > 0, "the bursts install rules");
+        for applier_shards in [1usize, 2, 3] {
+            let report = run_blocks(2, applier_shards, peers, n);
+            assert_eq!(report.metrics.dropped, 0);
+            for s in 0..peers {
+                let peer = PeerId(s + 1);
+                let got = report.actions_for(peer);
+                let want = inline.actions_for(peer);
+                assert_eq!(got.len(), want.len(), "session {peer:?}");
+                for (a, b) in got.iter().zip(want.iter()) {
+                    assert_eq!(a.time, b.time);
+                    assert_eq!(a.links, b.links);
+                    assert_eq!(a.predicted, b.predicted);
+                    assert_eq!(
+                        a.rules_installed, b.rules_installed,
+                        "session {peer:?} @ {applier_shards} applier shards"
+                    );
+                }
+            }
+            assert_eq!(
+                report.swift_rule_count(),
+                inline.swift_rule_count(),
+                "{applier_shards} applier shards vs inline"
+            );
+            assert_eq!(report.swift_rule_count(), single.swift_rule_count());
+            // Rerouted traffic resolves to the same backup next-hop through
+            // the partitioned forwarding planes.
+            for s in 0..peers {
+                for i in (0..n).step_by(37) {
+                    assert_eq!(
+                        report.forwarding_next_hop(&bp(s, i)),
+                        inline.forwarding_next_hop(&bp(s, i)),
+                        "next hop for {:?} @ {applier_shards} applier shards",
+                        bp(s, i)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_applier_metrics_account_for_every_event_and_install() {
+        let peers = 3u32;
+        let n = 200u32;
+        let applier_shards = 3usize;
+        let report = run_blocks(2, applier_shards, peers, n);
+        assert_eq!(report.metrics.per_applier.len(), applier_shards);
+        let events: u64 = report.metrics.per_applier.iter().map(|m| m.events).sum();
+        assert_eq!(
+            events,
+            u64::from(peers * n),
+            "every event reached an applier"
+        );
+        let installs: u64 = report.metrics.per_applier.iter().map(|m| m.installs).sum();
+        let expected: u64 = report
+            .actions
+            .iter()
+            .map(|a| a.rules_installed as u64)
+            .sum();
+        assert_eq!(installs, expected, "install counters match the action log");
+        assert!(
+            report
+                .metrics
+                .per_applier
+                .iter()
+                .all(|m| m.busy > Duration::ZERO),
+            "block-spaced sessions keep every applier shard busy"
+        );
+        // Sessions span three distinct /8 blocks, so with three partitions
+        // each applier owns at least one session's installs.
+        assert!(
+            report.metrics.per_applier.iter().all(|m| m.events > 0),
+            "the /8 partitioning spreads block-spaced sessions across appliers"
+        );
+    }
+
+    #[test]
+    fn resync_with_applier_shards_clears_rules_on_every_partition() {
+        let peers = 2u32;
+        let n = 200u32;
+        let mut runtime = ShardedRuntime::new(
+            RuntimeConfig {
+                batch_size: 8,
+                applier_shards: 2,
+                ..RuntimeConfig::sharded(2)
+            },
+            config(),
+            block_table(peers, n),
+            ReroutingPolicy::allow_all(),
+        );
+        runtime.ingest_stream(block_bursts(peers, n));
+        runtime.flush();
+        let removed = runtime.resync_after_convergence();
+        assert!(removed > 0, "the bursts installed reroute rules");
+        let report = runtime.finish();
+        assert_eq!(report.swift_rule_count(), 0, "resync swept all partitions");
+        assert_eq!(report.pending_events(), 0, "resync synced every RIB mirror");
+        assert_eq!(report.actions.len(), peers as usize);
+        for m in &report.metrics.per_applier {
+            assert_eq!(m.resyncs, 1, "applier {} served the resync", m.shard);
+        }
+    }
+
+    #[test]
+    fn session_churn_with_applier_shards_matches_inline() {
+        let peers = 3u32;
+        let n = 200u32;
+        let run_churn = |shards: usize, applier_shards: usize| {
+            let table = block_table(peers, n);
+            let routes: Vec<(Prefix, Route)> = table
+                .adj_rib_in(PeerId(2))
+                .unwrap()
+                .iter()
+                .map(|(prefix, route)| (*prefix, route.clone()))
+                .collect();
+            let mut runtime = ShardedRuntime::new(
+                RuntimeConfig {
+                    batch_size: 16,
+                    applier_shards,
+                    ..RuntimeConfig::sharded(shards)
+                },
+                config(),
+                table,
+                ReroutingPolicy::allow_all(),
+            );
+            runtime.ingest_stream(block_bursts(peers, n));
+            runtime.resync_after_convergence();
+            runtime.teardown_session(PeerId(2));
+            runtime.register_session(PeerId(2), Asn(2), routes);
+            runtime.ingest_stream((0..n).map(|i| {
+                (
+                    PeerId(2),
+                    ElementaryEvent::Withdraw {
+                        timestamp: 1_000_000_000 + u64::from(i) * 1_000,
+                        prefix: bp(1, i),
+                    },
+                )
+            }));
+            runtime.finish()
+        };
+        let baseline = run_churn(0, 1);
+        assert_eq!(
+            baseline.actions_for(PeerId(2)).len(),
+            2,
+            "one reroute per life of the flapped session"
+        );
+        for applier_shards in [2usize, 3] {
+            let report = run_churn(2, applier_shards);
+            assert_eq!(report.metrics.dropped, 0);
+            for s in 0..peers {
+                let peer = PeerId(s + 1);
+                let got = report.actions_for(peer);
+                let want = baseline.actions_for(peer);
+                assert_eq!(
+                    got.len(),
+                    want.len(),
+                    "session {peer:?} @ {applier_shards} applier shards"
+                );
+                for (a, b) in got.iter().zip(want.iter()) {
+                    assert_eq!(a.time, b.time);
+                    assert_eq!(a.links, b.links);
+                    assert_eq!(a.predicted, b.predicted);
+                    assert_eq!(a.rules_installed, b.rules_installed);
+                }
+            }
+            assert_eq!(report.swift_rule_count(), baseline.swift_rule_count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "applier() needs applier_shards = 1")]
+    fn single_applier_accessor_refuses_partitioned_reports() {
+        let report = run_blocks(2, 2, 2, 200);
+        let _ = report.applier();
     }
 }

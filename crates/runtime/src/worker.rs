@@ -4,8 +4,16 @@
 //!
 //! * **shard workers** — each owns the [`SessionEngine`]s of the sessions
 //!   hashed onto it and turns ingested events into engine verdicts;
-//! * the single **applier** — owns the [`Applier`] (routing table, forwarding
-//!   table, action log) and serializes every rule install and resync.
+//! * **applier shards** — each owns one [`Applier`] (a prefix-range partition
+//!   of the forwarding table, the routing state of that range, its own
+//!   action log) and serializes the rule installs and resyncs of its range.
+//!   With one applier shard (the default) this is exactly the old single
+//!   `swift-applier` thread.
+//!
+//! Shard workers route each processed event to the applier shard owning the
+//! event's prefix ([`PrefixPartitioner`]); lifecycle messages (register,
+//! teardown, barriers) are broadcast to every applier shard so each can
+//! maintain its slice of the state in-band with the event stream.
 //!
 //! All channels are bounded ([`std::sync::mpsc::sync_channel`]); a full shard
 //! queue pushes back on the ingest thread (or sheds load, depending on the
@@ -19,6 +27,7 @@ use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use swift_bgp::{Asn, ElementaryEvent, PeerId, Prefix, Route};
+use swift_core::encoding::PrefixPartitioner;
 use swift_core::inference::{EngineStatus, InferenceResult};
 use swift_core::metrics::LatencyRecorder;
 use swift_core::pipeline::{Applier, SessionEngine};
@@ -41,19 +50,19 @@ pub(crate) enum ShardMsg {
     /// A batch of events for this shard's sessions.
     Batch(Vec<IngestEvent>),
     /// A session (re-)registration: the shard adopts the engine and forwards
-    /// the routing-state half to the applier in-band.
+    /// the routing-state half to the applier shards in-band.
     Register(Box<SessionRegistration>),
     /// A session teardown: the shard drops the engine and forwards the
-    /// cleanup request to the applier in-band.
+    /// cleanup request to the applier shards in-band.
     Teardown(PeerId),
-    /// Flush marker: forward an ack to the applier and keep going.
+    /// Flush marker: forward an ack to every applier shard and keep going.
     Barrier(u64),
     /// Drain and exit.
     Shutdown,
 }
 
 /// Everything a mid-run session registration carries: the engine half for the
-/// session's home shard and the routing-state half for the applier.
+/// session's home shard and the routing-state half for the applier shards.
 #[derive(Debug)]
 pub(crate) struct SessionRegistration {
     pub peer: PeerId,
@@ -62,7 +71,7 @@ pub(crate) struct SessionRegistration {
     pub routes: Vec<(Prefix, Route)>,
 }
 
-/// One event after engine processing, on its way to the applier.
+/// One event after engine processing, on its way to an applier shard.
 #[derive(Debug)]
 pub(crate) struct ProcessedEvent {
     pub peer: PeerId,
@@ -76,17 +85,19 @@ pub(crate) struct ProcessedEvent {
 /// Shard/controller → applier messages.
 #[derive(Debug)]
 pub(crate) enum ApplierMsg {
-    /// Processed events from one shard, in that shard's order.
+    /// Processed events of this applier's prefix range from one shard, in
+    /// that shard's order.
     Batch(Vec<ProcessedEvent>),
-    /// Routing-state half of a session registration (forwarded by the
-    /// session's home shard, so it is ordered with the session's events).
+    /// Routing-state half of a session registration, restricted to this
+    /// applier's prefix range (forwarded by the session's home shard, so it
+    /// is ordered with the session's events).
     Register {
         peer: PeerId,
         asn: Asn,
         routes: Vec<(Prefix, Route)>,
     },
     /// Routing-state half of a session teardown: remove the departed peer's
-    /// SWIFT rules and RIB-mirror routes.
+    /// SWIFT rules and RIB-mirror routes from this applier's range.
     Teardown(PeerId),
     /// Barrier ack from one shard (the barrier's sequence number).
     Barrier(u64),
@@ -109,24 +120,81 @@ pub(crate) struct ShardWorkerReport {
     pub busy: Duration,
 }
 
-/// What the applier thread reports back when it exits.
+/// What one applier shard reports back when it exits.
 #[derive(Debug)]
 pub(crate) struct ApplierReport {
+    pub idx: usize,
     pub applier: Applier,
     pub reroute_latency: LatencyRecorder,
+    /// Events folded into this shard's deferred RIB buffer.
+    pub events: u64,
+    /// Batches received.
+    pub batches: u64,
+    /// Data-plane rule installs performed by accepted inferences.
+    pub installs: u64,
+    /// Accumulated time spent actually processing messages (not waiting on
+    /// the queue) — the measure of where the serialization point sits.
+    pub busy: Duration,
+    /// High-water mark of the deferred-RIB buffer, in events.
+    pub pending_high_water: usize,
+    /// Deferred events folded into the RIB mirror at resync time.
+    pub pending_folded: u64,
+    /// Resyncs served.
+    pub resyncs: u64,
+}
+
+/// A shard worker's sending side of one applier shard: the channel plus the
+/// depth gauges backing the per-applier queue high-water metric.
+pub(crate) struct ApplierLink {
+    pub tx: SyncSender<ApplierMsg>,
+    /// Batches currently in (or racing into) the queue.
+    pub depth: Arc<AtomicUsize>,
+    /// High-water mark of `depth`, clamped to the queue capacity by senders.
+    pub high: Arc<AtomicUsize>,
+}
+
+/// Everything one shard worker thread owns.
+pub(crate) struct ShardWorker {
+    pub shard: usize,
+    pub engines: BTreeMap<PeerId, SessionEngine>,
+    pub rx: Receiver<ShardMsg>,
+    pub appliers: Vec<ApplierLink>,
+    pub partitioner: PrefixPartitioner,
+    /// Physical capacity of each applier queue, for clamping the high-water.
+    pub applier_capacity: usize,
+    pub depth: Arc<AtomicUsize>,
+    pub clock: Arc<EpochClock>,
+    pub latency_window: usize,
+}
+
+/// Counts a batch into the applier's depth gauges and sends it. `Err` means
+/// the applier is gone (shutdown).
+fn send_batch(link: &ApplierLink, capacity: usize, batch: Vec<ProcessedEvent>) -> Result<(), ()> {
+    let observed = link.depth.fetch_add(1, Ordering::Relaxed) + 1;
+    link.high
+        .fetch_max(observed.min(capacity), Ordering::Relaxed);
+    if link.tx.send(ApplierMsg::Batch(batch)).is_err() {
+        link.depth.fetch_sub(1, Ordering::Relaxed);
+        return Err(());
+    }
+    Ok(())
 }
 
 /// The shard worker loop: process each batch through the shard's engines and
-/// forward everything (with any accepted inference attached) to the applier.
-pub(crate) fn shard_loop(
-    shard: usize,
-    mut engines: BTreeMap<PeerId, SessionEngine>,
-    rx: Receiver<ShardMsg>,
-    applier_tx: SyncSender<ApplierMsg>,
-    depth: Arc<AtomicUsize>,
-    clock: Arc<EpochClock>,
-    latency_window: usize,
-) -> ShardWorkerReport {
+/// forward everything (with any accepted inference attached) to the applier
+/// shard owning each event's prefix.
+pub(crate) fn shard_loop(w: ShardWorker) -> ShardWorkerReport {
+    let ShardWorker {
+        shard,
+        mut engines,
+        rx,
+        appliers,
+        partitioner,
+        applier_capacity,
+        depth,
+        clock,
+        latency_window,
+    } = w;
     let sessions = engines.len();
     let mut events = 0u64;
     let mut batches = 0u64;
@@ -141,7 +209,8 @@ pub(crate) fn shard_loop(
                 depth.fetch_sub(1, Ordering::Relaxed);
                 batches += 1;
                 first.get_or_insert_with(Instant::now);
-                let mut out = Vec::with_capacity(batch.len());
+                let mut outs: Vec<Vec<ProcessedEvent>> =
+                    (0..appliers.len()).map(|_| Vec::new()).collect();
                 for IngestEvent {
                     peer,
                     event,
@@ -163,7 +232,11 @@ pub(crate) fn shard_loop(
                     // coarse stamp is always ≤ the precise reading.
                     latency.record(clock.precise().saturating_sub(ingest) / 1_000);
                     events += 1;
-                    out.push(ProcessedEvent {
+                    // An accepted inference rides with its triggering event,
+                    // so it installs on the applier shard owning the
+                    // session's prefix range.
+                    let home = partitioner.partition_of(&event.prefix());
+                    outs[home].push(ProcessedEvent {
                         peer,
                         event,
                         result,
@@ -171,8 +244,13 @@ pub(crate) fn shard_loop(
                     });
                 }
                 last = Some(Instant::now());
-                if applier_tx.send(ApplierMsg::Batch(out)).is_err() {
-                    break 'outer; // applier gone; nothing left to do
+                for (link, out) in appliers.iter().zip(outs) {
+                    if out.is_empty() {
+                        continue;
+                    }
+                    if send_batch(link, applier_capacity, out).is_err() {
+                        break 'outer; // applier gone; nothing left to do
+                    }
                 }
             }
             ShardMsg::Register(reg) => {
@@ -183,28 +261,43 @@ pub(crate) fn shard_loop(
                     routes,
                 } = *reg;
                 engines.insert(peer, engine);
-                if applier_tx
-                    .send(ApplierMsg::Register { peer, asn, routes })
-                    .is_err()
-                {
-                    break 'outer;
+                // Every applier shard learns the peer; each receives only the
+                // routes of its own prefix range.
+                let mut split: Vec<Vec<(Prefix, Route)>> = vec![Vec::new(); appliers.len()];
+                for (prefix, route) in routes {
+                    split[partitioner.partition_of(&prefix)].push((prefix, route));
+                }
+                for (link, routes) in appliers.iter().zip(split) {
+                    if link
+                        .tx
+                        .send(ApplierMsg::Register { peer, asn, routes })
+                        .is_err()
+                    {
+                        break 'outer;
+                    }
                 }
             }
             ShardMsg::Teardown(peer) => {
                 engines.remove(&peer);
-                if applier_tx.send(ApplierMsg::Teardown(peer)).is_err() {
-                    break 'outer;
+                for link in &appliers {
+                    if link.tx.send(ApplierMsg::Teardown(peer)).is_err() {
+                        break 'outer;
+                    }
                 }
             }
             ShardMsg::Barrier(seq) => {
-                if applier_tx.send(ApplierMsg::Barrier(seq)).is_err() {
-                    break 'outer;
+                for link in &appliers {
+                    if link.tx.send(ApplierMsg::Barrier(seq)).is_err() {
+                        break 'outer;
+                    }
                 }
             }
             ShardMsg::Shutdown => break 'outer,
         }
     }
-    let _ = applier_tx.send(ApplierMsg::ShardDone);
+    for link in &appliers {
+        let _ = link.tx.send(ApplierMsg::ShardDone);
+    }
     ShardWorkerReport {
         shard,
         sessions: sessions.max(engines.len()),
@@ -218,58 +311,106 @@ pub(crate) fn shard_loop(
     }
 }
 
-/// The applier loop: fold every processed event into the (deferred) routing
-/// state, install the rules of accepted inferences in arrival order, answer
-/// barrier and resync requests, and exit once every shard has said goodbye.
-pub(crate) fn applier_loop(
-    mut applier: Applier,
-    rx: Receiver<ApplierMsg>,
-    barrier_tx: Sender<u64>,
-    shards: usize,
-    clock: Arc<EpochClock>,
-    latency_window: usize,
-) -> ApplierReport {
+/// Everything one applier shard thread owns.
+pub(crate) struct ApplierWorker {
+    pub idx: usize,
+    pub applier: Applier,
+    pub rx: Receiver<ApplierMsg>,
+    /// Acks back to the controller: `(applier index, barrier seq)`.
+    pub barrier_tx: Sender<(usize, u64)>,
+    /// Shard workers feeding this applier — the barrier/shutdown quorum.
+    pub workers: usize,
+    pub clock: Arc<EpochClock>,
+    pub latency_window: usize,
+    pub depth: Arc<AtomicUsize>,
+}
+
+/// The applier-shard loop: fold every processed event of this shard's prefix
+/// range into the (deferred) routing state, install the rules of accepted
+/// inferences in arrival order, answer barrier and resync requests, and exit
+/// once every shard worker has said goodbye.
+pub(crate) fn applier_loop(w: ApplierWorker) -> ApplierReport {
+    let ApplierWorker {
+        idx,
+        mut applier,
+        rx,
+        barrier_tx,
+        workers,
+        clock,
+        latency_window,
+        depth,
+    } = w;
     let mut done = 0usize;
     let mut barrier_acks: BTreeMap<u64, usize> = BTreeMap::new();
     let mut reroute_latency = LatencyRecorder::new(latency_window);
-    while done < shards {
+    let mut events = 0u64;
+    let mut batches = 0u64;
+    let mut installs = 0u64;
+    let mut busy = Duration::ZERO;
+    let mut pending_high_water = 0usize;
+    let mut pending_folded = 0u64;
+    let mut resyncs = 0u64;
+    while done < workers {
         let Ok(msg) = rx.recv() else {
             break;
         };
         match msg {
             ApplierMsg::Batch(batch) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                batches += 1;
                 for processed in batch {
+                    events += 1;
                     applier.note_event_owned(processed.peer, processed.event);
                     if let Some(result) = processed.result {
-                        applier.apply_inference(processed.peer, &result);
+                        let action = applier.apply_inference(processed.peer, &result);
+                        installs += action.rules_installed as u64;
                         reroute_latency
                             .record(clock.precise().saturating_sub(processed.ingest) / 1_000);
                     }
                 }
+                pending_high_water = pending_high_water.max(applier.pending_events());
+                busy += t0.elapsed();
             }
             ApplierMsg::Register { peer, asn, routes } => {
+                let t0 = Instant::now();
                 applier.register_session(peer, asn, routes);
+                busy += t0.elapsed();
             }
             ApplierMsg::Teardown(peer) => {
+                let t0 = Instant::now();
                 applier.teardown_session(peer);
+                busy += t0.elapsed();
             }
             ApplierMsg::Barrier(seq) => {
                 let acks = barrier_acks.entry(seq).or_insert(0);
                 *acks += 1;
-                if *acks == shards {
+                if *acks == workers {
                     barrier_acks.remove(&seq);
-                    let _ = barrier_tx.send(seq);
+                    let _ = barrier_tx.send((idx, seq));
                 }
             }
             ApplierMsg::Resync(reply) => {
+                let t0 = Instant::now();
+                pending_folded += applier.pending_events() as u64;
+                resyncs += 1;
                 let removed = applier.resync_after_convergence();
+                busy += t0.elapsed();
                 let _ = reply.send(removed);
             }
             ApplierMsg::ShardDone => done += 1,
         }
     }
     ApplierReport {
+        idx,
         applier,
         reroute_latency,
+        events,
+        batches,
+        installs,
+        busy,
+        pending_high_water,
+        pending_folded,
+        resyncs,
     }
 }

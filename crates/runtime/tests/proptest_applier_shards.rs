@@ -1,0 +1,230 @@
+//! Applier-shard equivalence property: on random interleaved multi-session
+//! streams with mid-run session churn, the sharded replay with K ∈ {1, 2, 3}
+//! applier shards reaches — per session — exactly the decisions (including
+//! installed-rule counts) of the single-applier sharded replay and of the
+//! deterministic inline mode, and ends with an identical data-plane rule set.
+//!
+//! This is the contract `exp_soak --applier-shards K` rests on: sessions
+//! occupy disjoint /8 prefix blocks (the corpus generator's
+//! `SESSION_PREFIX_SPACING` invariant), so partitioned installs are
+//! coordination-free and the partition count is invisible in the decision
+//! stream and in the final forwarding state.
+
+use proptest::prelude::*;
+use swift_bgp::{
+    AsPath, Asn, ElementaryEvent, PeerId, Prefix, Route, RouteAttributes, RoutingTable,
+};
+use swift_core::encoding::ReroutingPolicy;
+use swift_core::{EncodingConfig, InferenceConfig, RerouteAction, SwiftConfig};
+use swift_runtime::{RuntimeConfig, RuntimeReport, ShardedRuntime};
+
+const SESSIONS: u32 = 3;
+const PREFIXES_PER_SESSION: u32 = 60;
+
+/// The corpus generator's session spacing: each session's prefix block lives
+/// in its own /8, which is what pins a whole session to one applier shard.
+const BLOCK_SPACING: u32 = 65_536;
+
+/// The shared backup peer: announces an alternate route for every prefix of
+/// every session, so its Adj-RIB-In spans all partitions.
+const BACKUP: PeerId = PeerId(1_000);
+
+/// The flapped session: torn down and re-registered mid-run.
+const CHURNED: PeerId = PeerId(1);
+
+/// Thresholds scaled down so random 300-event streams form bursts and
+/// trigger accepted inferences often.
+fn config() -> SwiftConfig {
+    SwiftConfig {
+        inference: InferenceConfig {
+            burst_start_threshold: 10,
+            burst_stop_threshold: 2,
+            triggering_threshold: 15,
+            use_history: false,
+            ..Default::default()
+        },
+        encoding: EncodingConfig {
+            min_prefixes_per_link: 5,
+            ..Default::default()
+        },
+    }
+}
+
+fn p(session: u32, idx: u32) -> Prefix {
+    Prefix::nth_slash24(session * BLOCK_SPACING + idx)
+}
+
+/// A path within one session's AS neighbourhood; `variant` picks the shape.
+fn path(session: u32, idx: u32, variant: u32) -> AsPath {
+    let base = 100 + session * 1_000;
+    match variant % 4 {
+        0 => AsPath::new([base, base + 1 + idx % 3]),
+        1 => AsPath::new([base, base + 1 + idx % 3, base + 10 + idx % 5]),
+        2 => AsPath::new([base, base + 4, base + 20 + idx % 2]),
+        _ => AsPath::new([base, base + 5]),
+    }
+}
+
+/// Per-session tables in disjoint /8 blocks, plus the shared backup peer.
+fn table() -> RoutingTable {
+    let mut t = RoutingTable::new();
+    t.add_peer(BACKUP, Asn(1_000));
+    for s in 0..SESSIONS {
+        let peer = PeerId(s + 1);
+        t.add_peer(peer, Asn(100 + s * 1_000));
+        for i in 0..PREFIXES_PER_SESSION {
+            let mut attrs = RouteAttributes::from_path(path(s, i, i));
+            attrs.local_pref = Some(200);
+            t.announce(peer, p(s, i), Route::new(peer, attrs, 0));
+            t.announce(
+                BACKUP,
+                p(s, i),
+                Route::new(
+                    BACKUP,
+                    RouteAttributes::from_path(AsPath::new([1_000u32, 30_000 + i % 7])),
+                    0,
+                ),
+            );
+        }
+    }
+    t
+}
+
+/// The initial routes of the churned session — what its re-registration
+/// replays.
+fn churned_routes() -> Vec<(Prefix, Route)> {
+    table()
+        .adj_rib_in(CHURNED)
+        .expect("churned session exists")
+        .iter()
+        .map(|(prefix, route)| (*prefix, route.clone()))
+        .collect()
+}
+
+/// Random multi-session stream entries: (session, withdraw?, prefix index,
+/// announce-path variant). Timestamps are assigned in arrival order, 5 ms
+/// apart, so dense runs form bursts.
+fn arb_stream() -> impl Strategy<Value = Vec<(u32, bool, u32, u32)>> {
+    proptest::collection::vec(
+        (
+            0u32..SESSIONS,
+            any::<bool>(),
+            0u32..PREFIXES_PER_SESSION,
+            0u32..4,
+        ),
+        0..300,
+    )
+}
+
+fn materialize(stream: &[(u32, bool, u32, u32)]) -> Vec<(PeerId, ElementaryEvent)> {
+    stream
+        .iter()
+        .enumerate()
+        .map(|(k, (s, withdraw, idx, variant))| {
+            let timestamp = k as u64 * 5_000;
+            let event = if *withdraw {
+                ElementaryEvent::Withdraw {
+                    timestamp,
+                    prefix: p(*s, *idx),
+                }
+            } else {
+                ElementaryEvent::Announce {
+                    timestamp,
+                    prefix: p(*s, *idx),
+                    attrs: RouteAttributes::from_path(path(*s, *idx, *variant)),
+                }
+            };
+            (PeerId(s + 1), event)
+        })
+        .collect()
+}
+
+/// The per-session `(time, links, predicted, rules_installed)` projection
+/// all runs are compared on — rule counts included, since applier
+/// partitioning must not change what gets installed.
+fn decisions_for(actions: &[RerouteAction], peer: PeerId) -> Vec<(u64, String, usize, usize)> {
+    actions
+        .iter()
+        .filter(|a| a.session == peer)
+        .map(|a| {
+            (
+                a.time,
+                format!("{:?}", a.links),
+                a.predicted.len(),
+                a.rules_installed,
+            )
+        })
+        .collect()
+}
+
+/// Replays the stream with the churned session's teardown + re-register
+/// after its `churn_after`-th event. `applier_shards` = 0 selects the
+/// deterministic inline mode.
+fn run_with_churn(
+    events: &[(PeerId, ElementaryEvent)],
+    applier_shards: usize,
+    churn_after: usize,
+) -> RuntimeReport {
+    let runtime_config = if applier_shards == 0 {
+        RuntimeConfig::deterministic()
+    } else {
+        RuntimeConfig {
+            batch_size: 7, // force mid-burst batch boundaries
+            applier_shards,
+            ..RuntimeConfig::sharded(2)
+        }
+    };
+    let mut runtime = ShardedRuntime::new(
+        runtime_config,
+        config(),
+        table(),
+        ReroutingPolicy::allow_all(),
+    );
+    let mut seen = 0usize;
+    for (peer, event) in events {
+        if *peer == CHURNED {
+            if seen == churn_after {
+                runtime.teardown_session(CHURNED);
+                runtime.register_session(CHURNED, Asn(100), churned_routes());
+            }
+            seen += 1;
+        }
+        runtime.ingest(*peer, event.clone());
+    }
+    runtime.finish()
+}
+
+proptest! {
+    /// K applier shards (K ∈ {1, 2, 3}, real threads) are
+    /// decision-identical per session — rule counts included — to the
+    /// single-applier sharded replay and to the deterministic inline mode,
+    /// on random streams with a mid-run teardown + re-register of one
+    /// session; the final installed rule sets are identical too.
+    #[test]
+    fn k_applier_shards_equal_single_applier_and_inline(
+        stream in arb_stream(),
+        k in 1usize..=3,
+        churn_slot in 0u32..150,
+    ) {
+        let events = materialize(&stream);
+        let churned_events = events.iter().filter(|(p, _)| *p == CHURNED).count();
+        // A churn point inside the session's stream (or none, when the
+        // random slot falls past its last event) — identical across runs.
+        let churn_after = churn_slot as usize % (churned_events + 1);
+
+        let inline = run_with_churn(&events, 0, churn_after);
+        let single = run_with_churn(&events, 1, churn_after);
+        let multi = run_with_churn(&events, k, churn_after);
+
+        for s in 0..SESSIONS {
+            let peer = PeerId(s + 1);
+            let want = decisions_for(&inline.actions, peer);
+            // Single applier vs inline, then K appliers vs inline — the
+            // vendored prop_assert_eq! reports both sides on divergence.
+            prop_assert_eq!(&decisions_for(&single.actions, peer), &want);
+            prop_assert_eq!(&decisions_for(&multi.actions, peer), &want);
+        }
+        prop_assert_eq!(single.swift_rule_count(), inline.swift_rule_count());
+        prop_assert_eq!(multi.swift_rule_count(), inline.swift_rule_count());
+    }
+}
