@@ -1,0 +1,223 @@
+//! The `swift-analysis` CLI: `check` runs the workspace lint and the
+//! concurrency-topology checker, prints rustc-style findings, writes the
+//! topology artifacts (DOT + JSON) and exits nonzero on any finding so CI
+//! can gate on it. `rules` lists the rule keys for pragma authors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use swift_analysis::{find_workspace_root, json_escape, rules, topology, Finding, Workspace};
+
+const USAGE: &str = "usage: swift-analysis <command> [options]
+
+commands:
+  check      run the workspace lint + topology checks
+  rules      list the lint rule keys accepted by `swift-lint: allow(...)`
+
+options (check):
+  --json             print findings as a JSON array on stdout
+  --root <dir>       workspace root (default: walk up from the cwd)
+  --out-dir <dir>    artifact directory (default: <root>/target/analysis)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for rule in rules::KNOWN_RULES {
+                println!("{rule}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed `check` options.
+struct Opts {
+    json: bool,
+    root: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        json: false,
+        root: None,
+        out_dir: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--root" => {
+                opts.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--out-dir" => {
+                opts.out_dir = Some(PathBuf::from(
+                    it.next().ok_or("--out-dir needs a directory")?,
+                ));
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("swift-analysis: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("swift-analysis: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "swift-analysis: failed to load workspace under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    // Layer 2: the lint rules.
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &ws.files {
+        findings.extend(rules::check_file(file));
+    }
+
+    // Layer 3: the topology checks.
+    let report = topology::check(&ws);
+    findings.extend(report.findings.iter().cloned());
+    if let Some(cycle) = &report.blocking_cycle {
+        findings.push(Finding {
+            rule: "topology",
+            path: "crates/runtime/src/lib.rs".into(),
+            line: 0,
+            message: format!(
+                "cycle of blocking sends through the thread graph: {} — under \
+                 `BackpressurePolicy::Block` this can deadlock; acks must flow on \
+                 unbounded control channels",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+    if let Some(cycle) = &report.lock_cycle {
+        findings.push(Finding {
+            rule: "topology",
+            path: "workspace".into(),
+            line: 0,
+            message: format!(
+                "lock-order cycle: {} — two threads can take these mutexes in opposite \
+                 orders and deadlock",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+    findings.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+
+    // Artifacts.
+    let out_dir = opts
+        .out_dir
+        .unwrap_or_else(|| root.join("target").join("analysis"));
+    if let Err(e) = write_artifacts(&out_dir, &report, &findings) {
+        eprintln!(
+            "swift-analysis: failed to write artifacts under {}: {e}",
+            out_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    if opts.json {
+        println!("{}", findings_json(&findings));
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        let nodes: Vec<&str> = {
+            let mut seen = Vec::new();
+            for n in &report.topology.nodes {
+                if !seen.contains(&n.name.as_str()) {
+                    seen.push(n.name.as_str());
+                }
+            }
+            seen
+        };
+        eprintln!(
+            "swift-analysis: {} file(s), {} finding(s); topology: {} thread class(es) [{}], \
+             {} channel(s), blocking-send graph {}, lock graph {} ({} edge(s)); artifacts in {}",
+            ws.files.len(),
+            findings.len(),
+            nodes.len(),
+            nodes.join(", "),
+            report.topology.channels.len(),
+            if report.blocking_cycle.is_none() {
+                "acyclic"
+            } else {
+                "CYCLIC"
+            },
+            if report.lock_cycle.is_none() {
+                "acyclic"
+            } else {
+                "CYCLIC"
+            },
+            report.topology.lock_edges.len(),
+            out_dir.display(),
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Writes `topology.dot`, `topology.json` and `findings.json` under `dir`.
+fn write_artifacts(
+    dir: &PathBuf,
+    report: &topology::TopologyReport,
+    findings: &[Finding],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("topology.dot"), topology::to_dot(&report.topology))?;
+    std::fs::write(dir.join("topology.json"), topology::to_json(report))?;
+    std::fs::write(dir.join("findings.json"), findings_json(findings))?;
+    Ok(())
+}
+
+/// Renders findings as a JSON array (no serde — the workspace is offline).
+fn findings_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.path),
+            f.line,
+            f.rule,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+    out
+}

@@ -1,0 +1,367 @@
+//! The lint engine: repo-specific rules over the lexed token streams.
+//!
+//! Every rule reports rustc-style findings (`path:line: rule: message`) and
+//! honours the pragma syntax
+//!
+//! ```text
+//! // swift-lint: allow(<rule>) -- <reason>
+//! ```
+//!
+//! on the pragma's own line or the line directly below it. A pragma without
+//! a `-- reason` suppresses nothing and is itself flagged, so every
+//! exemption in the tree carries its justification.
+//!
+//! | key | invariant enforced |
+//! |-----|--------------------|
+//! | `instant-now` | PR 5's epoch-clock discipline: no `Instant::now()` on the per-event ingest/worker hot paths outside the allowlist |
+//! | `unwrap` | no bare `.unwrap()` in non-test library code — use `.expect("<invariant>")` |
+//! | `unbounded-channel` | `mpsc::channel()` (unbounded) only for reply/barrier control channels; data paths use `sync_channel` |
+//! | `thread-spawn` | threads are spawned only by `swift-runtime` and the bench harnesses |
+//! | `lifecycle-send` | lifecycle/barrier messages are never shed: no `try_send` of `Register`/`Teardown`/`Barrier`/`Resync`/`Shutdown`/`ShardDone` |
+//! | `bare-applier` | bench/harness code branches on `try_applier()` instead of the K≥2-panicking `RuntimeReport::applier()` |
+//! | `pragma` | every `swift-lint` pragma is well-formed, names a known rule and carries a reason |
+
+use crate::lexer::{match_seq, matching_close, TokenKind};
+use crate::{Finding, SourceFile};
+
+/// Rule key: `Instant::now()` on the ingest/worker hot paths.
+pub const RULE_INSTANT_NOW: &str = "instant-now";
+/// Rule key: bare `.unwrap()` in library code.
+pub const RULE_UNWRAP: &str = "unwrap";
+/// Rule key: unbounded `mpsc::channel()` on a data path.
+pub const RULE_UNBOUNDED_CHANNEL: &str = "unbounded-channel";
+/// Rule key: thread spawn outside runtime/bench.
+pub const RULE_THREAD_SPAWN: &str = "thread-spawn";
+/// Rule key: `try_send` of a lifecycle/barrier message.
+pub const RULE_LIFECYCLE_SEND: &str = "lifecycle-send";
+/// Rule key: `RuntimeReport::applier()` in bench code.
+pub const RULE_BARE_APPLIER: &str = "bare-applier";
+/// Rule key: malformed or unknown pragma.
+pub const RULE_PRAGMA: &str = "pragma";
+
+/// Every rule key the pragma checker accepts in `allow(...)`.
+pub const KNOWN_RULES: &[&str] = &[
+    RULE_INSTANT_NOW,
+    RULE_UNWRAP,
+    RULE_UNBOUNDED_CHANNEL,
+    RULE_THREAD_SPAWN,
+    RULE_LIFECYCLE_SEND,
+    RULE_BARE_APPLIER,
+];
+
+/// The hot-path files `instant-now` polices.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/runtime/src/ingest.rs",
+    "crates/runtime/src/worker.rs",
+];
+
+/// Functions inside the hot-path files where `Instant::now()` is fine:
+/// constructors (`new` — clock/handle setup, not per-event), and the
+/// consumer-side loop bodies (`shard_loop`, `applier_loop`) whose per-batch /
+/// per-message measurements are the documented exception — they are off the
+/// per-event path and are what the latency metrics are made of.
+const INSTANT_NOW_ALLOWED_FNS: &[&str] = &["new", "shard_loop", "applier_loop"];
+
+/// The message-enum variants that make up the lifecycle/barrier protocol —
+/// shedding any of these would break in-band ordering or the barrier quorum.
+const LIFECYCLE_VARIANTS: &[&str] = &[
+    "Register",
+    "Teardown",
+    "Barrier",
+    "Resync",
+    "Shutdown",
+    "ShardDone",
+];
+
+/// Runs every applicable rule over `file`.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_pragmas(file, &mut out);
+    if HOT_PATH_FILES.contains(&file.rel.as_str()) {
+        check_instant_now(file, &mut out);
+    }
+    if unwrap_scope(&file.rel) {
+        check_unwrap(file, &mut out);
+    }
+    if channel_scope(&file.rel) {
+        check_unbounded_channel(file, &mut out);
+        check_lifecycle_send(file, &mut out);
+    }
+    if thread_spawn_scope(&file.rel) {
+        check_thread_spawn(file, &mut out);
+    }
+    if file.rel.starts_with("crates/bench/") {
+        check_bare_applier(file, &mut out);
+    }
+    out
+}
+
+/// `unwrap` scope: every library crate's `src/` (the bench harnesses and
+/// experiment binaries may unwrap CLI/IO errors freely).
+fn unwrap_scope(rel: &str) -> bool {
+    let lib_src = (rel.starts_with("crates/") && rel.contains("/src/")) || rel.starts_with("src/");
+    lib_src && !rel.starts_with("crates/bench/")
+}
+
+/// `unbounded-channel` / `lifecycle-send` scope: the concurrent pipeline —
+/// the runtime crate and the core pipeline it drives.
+fn channel_scope(rel: &str) -> bool {
+    rel.starts_with("crates/runtime/src/") || rel.starts_with("crates/core/src/")
+}
+
+/// `thread-spawn` scope: everywhere except the runtime (whose whole job is
+/// spawning the shard/applier threads) and the bench harnesses (producer
+/// threads for the multi-ingest experiments).
+fn thread_spawn_scope(rel: &str) -> bool {
+    let lib_src = (rel.starts_with("crates/") && rel.contains("/src/")) || rel.starts_with("src/");
+    lib_src && !rel.starts_with("crates/runtime/src/") && !rel.starts_with("crates/bench/")
+}
+
+/// `instant-now`: flags `Instant::now` token sequences (called or passed as
+/// a function value — both read the clock at runtime) in hot-path files,
+/// outside allowlisted functions, test code and pragmas.
+fn check_instant_now(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.tokens.len() {
+        if !match_seq(&file.tokens, i, &["Instant", ":", ":", "now"]) {
+            continue;
+        }
+        let line = file.tokens[i].line;
+        if file.in_test(line) || file.allowed(RULE_INSTANT_NOW, line) {
+            continue;
+        }
+        if let Some(f) = file.enclosing_fn(line) {
+            if INSTANT_NOW_ALLOWED_FNS.contains(&f.name.as_str()) {
+                continue;
+            }
+        }
+        out.push(Finding {
+            rule: RULE_INSTANT_NOW,
+            path: file.rel.clone(),
+            line,
+            message: "`Instant::now()` on the ingest/worker hot path — stamp events with the \
+                      shared `EpochClock` (PR 5's epoch-clock discipline) or justify with \
+                      `// swift-lint: allow(instant-now) -- <reason>`"
+                .into(),
+        });
+    }
+}
+
+/// `unwrap`: flags `.unwrap()` (exactly — `unwrap_or*` never fires) outside
+/// test code and pragmas.
+fn check_unwrap(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.tokens.len() {
+        if !match_seq(&file.tokens, i, &[".", "unwrap", "(", ")"]) {
+            continue;
+        }
+        let line = file.tokens[i + 1].line;
+        if file.in_test(line) || file.allowed(RULE_UNWRAP, line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE_UNWRAP,
+            path: file.rel.clone(),
+            line,
+            message: "bare `.unwrap()` in library code — name the invariant with \
+                      `.expect(\"...\")` or justify with \
+                      `// swift-lint: allow(unwrap) -- <reason>`"
+                .into(),
+        });
+    }
+}
+
+/// `unbounded-channel`: flags `mpsc::channel()` unless the `let` binding
+/// names mark it as a reply/barrier control channel (idents containing
+/// `reply` or `barrier`) or a pragma justifies it. Data paths must use
+/// `sync_channel` so a slow consumer pushes back instead of buffering
+/// unboundedly.
+fn check_unbounded_channel(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.tokens.len() {
+        if !match_seq(&file.tokens, i, &["mpsc", ":", ":", "channel"])
+            || call_open_paren(&file.tokens, i + 3).is_none()
+        {
+            continue;
+        }
+        let line = file.tokens[i].line;
+        if file.in_test(line) || file.allowed(RULE_UNBOUNDED_CHANNEL, line) {
+            continue;
+        }
+        if channel_binding_is_control(file, i) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE_UNBOUNDED_CHANNEL,
+            path: file.rel.clone(),
+            line,
+            message: "unbounded `mpsc::channel()` on a data path — use `sync_channel` \
+                      (bounded, backpressure) or mark the binding as a control channel \
+                      (`reply`/`barrier` in the name) or justify with \
+                      `// swift-lint: allow(unbounded-channel) -- <reason>`"
+                .into(),
+        });
+    }
+}
+
+/// For a call whose name token sits at `name`, returns the index of the
+/// opening `(`, skipping an optional turbofish (`mpsc::channel::<T>()`).
+fn call_open_paren(tokens: &[crate::lexer::Token], name: usize) -> Option<usize> {
+    let mut j = name + 1;
+    if match_seq(tokens, j, &[":", ":", "<"]) {
+        let mut depth = 0usize;
+        let mut k = j + 2;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        j = k;
+    }
+    (tokens.get(j)?.text == "(").then_some(j)
+}
+
+/// Walks back from the `mpsc` token at `at` to the statement's `let` and
+/// reports whether any bound ident names a control channel.
+fn channel_binding_is_control(file: &SourceFile, at: usize) -> bool {
+    let mut j = at;
+    // Scan back to the start of the statement (a `;`, `{` or `}`), then
+    // forward from the `let` collecting pattern idents.
+    while j > 0 {
+        let t = &file.tokens[j - 1];
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        j -= 1;
+        if at - j > 32 {
+            break;
+        }
+    }
+    file.tokens[j..at].iter().any(|t| {
+        t.kind == TokenKind::Ident && (t.text.contains("reply") || t.text.contains("barrier"))
+    })
+}
+
+/// `thread-spawn`: flags `thread::spawn(...)` and `.spawn(...)` in crates
+/// that must stay thread-free — concurrency lives in `swift-runtime` (and
+/// the bench harnesses), everything else stays deterministic and testable.
+fn check_thread_spawn(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.tokens.len() {
+        let path_spawn = match_seq(&file.tokens, i, &["thread", ":", ":", "spawn", "("]);
+        let method_spawn = match_seq(&file.tokens, i, &[".", "spawn", "("]);
+        if !(path_spawn || method_spawn) {
+            continue;
+        }
+        let line = file.tokens[i].line;
+        if file.in_test(line) || file.allowed(RULE_THREAD_SPAWN, line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE_THREAD_SPAWN,
+            path: file.rel.clone(),
+            line,
+            message: "thread spawn outside `swift-runtime`/`swift-bench` — route concurrency \
+                      through the runtime (`ShardedRuntime`, `IngestHandle`) so the topology \
+                      checker sees it, or justify with \
+                      `// swift-lint: allow(thread-spawn) -- <reason>`"
+                .into(),
+        });
+    }
+}
+
+/// `lifecycle-send`: flags `try_send(...)` whose payload mentions a
+/// lifecycle/barrier variant. Those messages carry in-band ordering and the
+/// barrier quorum — shedding one would desynchronize engines and appliers
+/// (CHANGES.md PR 4: "lifecycle messages are never shed").
+fn check_lifecycle_send(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.tokens.len() {
+        if !match_seq(&file.tokens, i, &[".", "try_send", "("]) {
+            continue;
+        }
+        let line = file.tokens[i + 1].line;
+        let close = matching_close(&file.tokens, i + 2);
+        let payload = &file.tokens[i + 3..close.min(file.tokens.len())];
+        let variant = payload
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && LIFECYCLE_VARIANTS.contains(&t.text.as_str()));
+        let Some(variant) = variant else {
+            continue;
+        };
+        if file.in_test(line) || file.allowed(RULE_LIFECYCLE_SEND, line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE_LIFECYCLE_SEND,
+            path: file.rel.clone(),
+            line,
+            message: format!(
+                "`try_send` of lifecycle/barrier message `{}` — lifecycle messages are never \
+                 shed (in-band ordering, barrier quorum): use the blocking `send`",
+                variant.text
+            ),
+        });
+    }
+}
+
+/// `bare-applier`: flags `.applier()` in bench code — it panics at
+/// `applier_shards >= 2`; harnesses branch on `try_applier()` or use the
+/// aggregate accessors instead.
+fn check_bare_applier(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.tokens.len() {
+        if !match_seq(&file.tokens, i, &[".", "applier", "(", ")"]) {
+            continue;
+        }
+        let line = file.tokens[i + 1].line;
+        if file.in_test(line) || file.allowed(RULE_BARE_APPLIER, line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE_BARE_APPLIER,
+            path: file.rel.clone(),
+            line,
+            message: "`RuntimeReport::applier()` in bench code panics at `applier_shards >= 2` \
+                      — branch on `try_applier()` or use the aggregate accessors \
+                      (`swift_rule_count()`, `pending_events()`, `forwarding_next_hop()`)"
+                .into(),
+        });
+    }
+}
+
+/// `pragma`: every `swift-lint` pragma must be `allow(<known-rule>) -- \
+/// <reason>` — malformed pragmas, unknown rules and missing reasons are
+/// findings so a typo cannot silently disable a lint.
+pub fn check_pragmas(file: &SourceFile, out: &mut Vec<Finding>) {
+    for p in &file.pragmas {
+        let message = if p.rule.is_empty() {
+            "malformed `swift-lint` pragma — expected \
+             `// swift-lint: allow(<rule>) -- <reason>`"
+                .to_string()
+        } else if !KNOWN_RULES.contains(&p.rule.as_str()) {
+            format!(
+                "unknown rule `{}` in `swift-lint` pragma — known rules: {}",
+                p.rule,
+                KNOWN_RULES.join(", ")
+            )
+        } else if p.reason.is_empty() {
+            format!(
+                "`swift-lint: allow({})` without a `-- <reason>` justification suppresses \
+                 nothing — state why the exemption is sound",
+                p.rule
+            )
+        } else {
+            continue;
+        };
+        out.push(Finding {
+            rule: RULE_PRAGMA,
+            path: file.rel.clone(),
+            line: p.line,
+            message,
+        });
+    }
+}

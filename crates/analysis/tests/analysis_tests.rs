@@ -1,0 +1,322 @@
+//! Fixture tests for every lint rule and both topology checks, plus the
+//! workspace self-check: the real tree must be clean and its extracted
+//! topology must match the runtime's documented shape.
+//!
+//! The fixtures live under `tests/fixtures/` (a subdirectory, so cargo does
+//! not compile them as test targets — several contain deliberate
+//! violations). Each is checked under a synthetic workspace-relative path
+//! that puts it in the right rule scope.
+
+use std::path::{Path, PathBuf};
+use swift_analysis::{rules, topology, Finding, SourceFile, Workspace};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Runs the lint rules over a fixture as if it sat at `rel` in the tree.
+fn check_as(rel: &str, name: &str) -> Vec<Finding> {
+    rules::check_file(&SourceFile::parse(rel, &fixture(name)))
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn instant_now_fires_once_on_the_hot_path() {
+    let findings = check_as("crates/runtime/src/worker.rs", "instant_now.rs");
+    assert_eq!(
+        count(&findings, "instant-now"),
+        1,
+        "exactly the VIOLATION line: literals, comments, allowlisted fns, \
+         pragma'd and test code must not fire: {findings:?}"
+    );
+    assert_eq!(findings.len(), 1, "no other rule fires: {findings:?}");
+    assert!(findings[0].message.contains("EpochClock"));
+}
+
+#[test]
+fn instant_now_is_out_of_scope_off_the_hot_path() {
+    let findings = check_as("crates/traces/src/fixture.rs", "instant_now.rs");
+    assert_eq!(count(&findings, "instant-now"), 0);
+}
+
+#[test]
+fn unwrap_fires_on_bare_and_reasonless_pragma_sites() {
+    let findings = check_as("crates/traces/src/fixture.rs", "unwrap.rs");
+    assert_eq!(
+        count(&findings, "unwrap"),
+        2,
+        "the bare site and the site under a reasonless pragma: {findings:?}"
+    );
+    assert_eq!(
+        count(&findings, "pragma"),
+        1,
+        "the reasonless pragma is itself flagged: {findings:?}"
+    );
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn unwrap_is_out_of_scope_in_bench_code() {
+    let findings = check_as("crates/bench/src/bin/fixture.rs", "unwrap.rs");
+    assert_eq!(count(&findings, "unwrap"), 0);
+}
+
+#[test]
+fn unbounded_channel_fires_once_even_with_turbofish() {
+    let findings = check_as("crates/runtime/src/lib.rs", "unbounded.rs");
+    assert_eq!(
+        count(&findings, "unbounded-channel"),
+        1,
+        "control bindings, sync_channel, pragma'd and test code must not \
+         fire: {findings:?}"
+    );
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}
+
+#[test]
+fn thread_spawn_fires_on_path_and_builder_forms() {
+    let findings = check_as("crates/traces/src/fixture.rs", "thread_spawn.rs");
+    assert_eq!(count(&findings, "thread-spawn"), 2, "{findings:?}");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn thread_spawn_is_in_scope_only_outside_runtime_and_bench() {
+    for rel in [
+        "crates/runtime/src/lib.rs",
+        "crates/bench/src/bin/fixture.rs",
+    ] {
+        let findings = check_as(rel, "thread_spawn.rs");
+        assert_eq!(count(&findings, "thread-spawn"), 0, "{rel}");
+    }
+}
+
+#[test]
+fn lifecycle_send_fires_only_on_lifecycle_payloads() {
+    let findings = check_as("crates/runtime/src/worker.rs", "lifecycle_send.rs");
+    assert_eq!(
+        count(&findings, "lifecycle-send"),
+        1,
+        "shedding data batches and blocking lifecycle sends are fine: {findings:?}"
+    );
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}
+
+#[test]
+fn bare_applier_fires_in_bench_code_only() {
+    let findings = check_as("crates/bench/src/bin/fixture.rs", "bare_applier.rs");
+    assert_eq!(count(&findings, "bare-applier"), 1, "{findings:?}");
+    assert!(findings[0].message.contains("try_applier"));
+    let elsewhere = check_as("crates/runtime/src/lib.rs", "bare_applier.rs");
+    assert_eq!(count(&elsewhere, "bare-applier"), 0);
+}
+
+#[test]
+fn pragma_rule_flags_malformed_unknown_and_reasonless() {
+    let findings = check_as("crates/core/src/fixture.rs", "pragmas.rs");
+    assert_eq!(count(&findings, "pragma"), 3, "{findings:?}");
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn topology_detects_a_blocking_send_cycle() {
+    let f = SourceFile::parse(
+        "crates/runtime/src/lib.rs",
+        &fixture("topology_blocking_cycle.rs"),
+    );
+    let report = topology::check_files(&[&f], &[&f]);
+    let cycle = report
+        .blocking_cycle
+        .expect("bounded ack channel closes a coordinator <-> worker cycle");
+    assert!(
+        cycle.contains(&"coordinator".to_string()) && cycle.contains(&"swift-worker".to_string()),
+        "cycle names both nodes: {cycle:?}"
+    );
+    assert!(report.lock_cycle.is_none());
+}
+
+#[test]
+fn topology_accepts_the_unbounded_ack_shape() {
+    let f = SourceFile::parse("crates/runtime/src/lib.rs", &fixture("topology_ok.rs"));
+    let report = topology::check_files(&[&f], &[&f]);
+    assert!(
+        report.blocking_cycle.is_none(),
+        "{:?}",
+        report.blocking_cycle
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    let keys: Vec<&str> = report
+        .topology
+        .channels
+        .iter()
+        .map(|c| c.key.as_str())
+        .collect();
+    assert!(
+        keys.contains(&"ShardMsg") && keys.contains(&"barrier"),
+        "{keys:?}"
+    );
+}
+
+#[test]
+fn topology_detects_a_lock_order_cycle() {
+    let f = SourceFile::parse(
+        "crates/core/src/tables.rs",
+        &fixture("topology_lock_cycle.rs"),
+    );
+    let report = topology::check_files(&[], &[&f]);
+    let cycle = report
+        .lock_cycle
+        .expect("opposite acquisition orders cycle");
+    assert!(
+        cycle.contains(&"routing".to_string()) && cycle.contains(&"forwarding".to_string()),
+        "{cycle:?}"
+    );
+}
+
+/// End-to-end exit codes through the real binary: 0 on the clean workspace,
+/// 1 on a synthetic workspace with a violation, 2 on usage errors.
+#[test]
+fn cli_exit_codes_gate_correctly() {
+    let bin = env!("CARGO_BIN_EXE_swift-analysis");
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let scratch = std::env::temp_dir().join(format!("swift-analysis-test-{}", std::process::id()));
+
+    let clean = std::process::Command::new(bin)
+        .args(["check", "--root"])
+        .arg(&root)
+        .arg("--out-dir")
+        .arg(scratch.join("artifacts"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    assert!(scratch.join("artifacts/topology.dot").is_file());
+    assert!(scratch.join("artifacts/topology.json").is_file());
+    assert!(scratch.join("artifacts/findings.json").is_file());
+
+    // A synthetic workspace with one violation must exit 1 and report it on
+    // the JSON stream.
+    let dirty = scratch.join("dirty");
+    std::fs::create_dir_all(dirty.join("crates/x/src")).expect("mkdir");
+    std::fs::write(dirty.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    std::fs::write(
+        dirty.join("crates/x/src/lib.rs"),
+        "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    )
+    .expect("source");
+    let violating = std::process::Command::new(bin)
+        .args(["check", "--json", "--root"])
+        .arg(&dirty)
+        .arg("--out-dir")
+        .arg(scratch.join("dirty-artifacts"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(violating.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&violating.stdout);
+    assert!(json.contains("\"rule\": \"unwrap\""), "{json}");
+
+    let usage = std::process::Command::new(bin)
+        .arg("frobnicate")
+        .output()
+        .expect("binary runs");
+    assert_eq!(usage.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// The self-check the CI leg gates on: the real workspace is clean under
+/// every rule, and the extracted topology matches the runtime's documented
+/// shape (producer/coordinator/shard/applier over two bounded data paths
+/// and two unbounded control channels, both graphs acyclic).
+#[test]
+fn workspace_is_clean_and_topology_matches_the_design() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    assert!(
+        ws.files.len() >= 50,
+        "sanity: the scan actually covered the tree ({} files)",
+        ws.files.len()
+    );
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &ws.files {
+        findings.extend(rules::check_file(file));
+    }
+    assert!(
+        findings.is_empty(),
+        "workspace must be lint-clean: {findings:#?}"
+    );
+
+    let report = topology::check(&ws);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert!(
+        report.blocking_cycle.is_none(),
+        "{:?}",
+        report.blocking_cycle
+    );
+    assert!(report.lock_cycle.is_none(), "{:?}", report.lock_cycle);
+
+    let nodes: Vec<&str> = report
+        .topology
+        .nodes
+        .iter()
+        .map(|n| n.name.as_str())
+        .collect();
+    for expected in ["producer", "coordinator", "swift-shard", "swift-applier"] {
+        assert!(
+            nodes.contains(&expected),
+            "missing node {expected}: {nodes:?}"
+        );
+    }
+    for c in &report.topology.channels {
+        assert_eq!(
+            c.bounded, !c.control,
+            "data paths bounded, control channels unbounded: {c:?}"
+        );
+    }
+    let keys: Vec<&str> = report
+        .topology
+        .channels
+        .iter()
+        .map(|c| c.key.as_str())
+        .collect();
+    for expected in ["ShardMsg", "ApplierMsg", "barrier", "reply"] {
+        assert!(
+            keys.contains(&expected),
+            "missing channel {expected}: {keys:?}"
+        );
+    }
+    // Every data-path send out of a producer/shard is attributed: the
+    // shard -> applier hop exists and is blocking (Block backpressure).
+    assert!(
+        report
+            .topology
+            .sends
+            .iter()
+            .any(|s| s.node == "swift-shard" && s.channel == "ApplierMsg" && s.blocking),
+        "{:#?}",
+        report.topology.sends
+    );
+    // The DOT artifact renders every node.
+    let dot = topology::to_dot(&report.topology);
+    for expected in ["producer", "swift-shard", "swift-applier", "coordinator"] {
+        assert!(dot.contains(expected), "DOT missing {expected}:\n{dot}");
+    }
+}

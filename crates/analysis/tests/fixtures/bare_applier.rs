@@ -1,0 +1,23 @@
+// Fixture for the `bare-applier` rule. Checked as if it were a
+// `crates/bench/` harness. Expected findings: exactly ONE, on the line
+// marked VIOLATION — `RuntimeReport::applier()` panics at K >= 2 shards.
+
+fn panicking_accessor(report: &RuntimeReport) -> usize {
+    report.applier().pending_events() // VIOLATION: panics when applier_shards >= 2
+}
+
+fn branching_is_fine(report: &RuntimeReport) -> usize {
+    match report.try_applier() {
+        Some(applier) => applier.pending_events(),
+        None => report.pending_events(),
+    }
+}
+
+fn aggregates_are_fine(report: &RuntimeReport) -> usize {
+    report.swift_rule_count() + report.pending_events()
+}
+
+fn justified(report: &RuntimeReport) -> usize {
+    // swift-lint: allow(bare-applier) -- fixture: this harness pins applier_shards = 1 in its config
+    report.applier().pending_events()
+}

@@ -1,0 +1,47 @@
+// Fixture for the `instant-now` rule. Checked as if it were
+// `crates/runtime/src/worker.rs` (a hot-path file). Expected findings:
+// exactly ONE, on the line marked VIOLATION.
+
+use std::time::Instant;
+
+fn hot_path_stamp() {
+    let t = Instant::now(); // VIOLATION: per-event clock read on the hot path
+    drop(t);
+}
+
+fn string_literal_is_fine() {
+    let s = "Instant::now() inside a string literal never fires";
+    let r = r#"Instant::now() inside a raw string never fires"#;
+    drop((s, r));
+}
+
+// Instant::now() inside a comment never fires.
+/* Instant::now() inside a block comment never fires. */
+
+fn new() -> Instant {
+    // Allowlisted function name: constructors may read the clock.
+    Instant::now()
+}
+
+fn shard_loop() {
+    // Allowlisted: the consumer-side loop's per-batch measurements.
+    let t0 = Instant::now();
+    drop(t0);
+}
+
+fn justified() {
+    // swift-lint: allow(instant-now) -- one-time stamp behind a OnceLock, not per-event
+    let t = Instant::now();
+    drop(t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_read_the_clock() {
+        let t = Instant::now();
+        drop(t);
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture for the `lifecycle-send` rule. Checked as if it were
+// `crates/runtime/src/worker.rs`. Expected findings: exactly ONE, on the
+// line marked VIOLATION — lifecycle/barrier messages are never shed.
+
+use std::sync::mpsc::SyncSender;
+
+enum ShardMsg {
+    Batch(Vec<u64>),
+    Barrier(u64),
+}
+
+fn shed_lifecycle(tx: &SyncSender<ShardMsg>) {
+    let _ = tx.try_send(ShardMsg::Barrier(7)); // VIOLATION: barrier shed under pressure
+}
+
+fn shedding_data_is_fine(tx: &SyncSender<ShardMsg>) {
+    // DropNewest sheds *data* batches only — that is the policy's contract.
+    let _ = tx.try_send(ShardMsg::Batch(vec![1, 2, 3]));
+}
+
+fn blocking_lifecycle_is_fine(tx: &SyncSender<ShardMsg>) {
+    tx.send(ShardMsg::Barrier(8)).expect("worker alive");
+}
+
+fn justified(tx: &SyncSender<ShardMsg>) {
+    // swift-lint: allow(lifecycle-send) -- fixture: probe for a full queue; the caller re-sends blocking on Err
+    let _ = tx.try_send(ShardMsg::Barrier(9));
+}

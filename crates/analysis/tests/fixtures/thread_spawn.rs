@@ -1,0 +1,33 @@
+// Fixture for the `thread-spawn` rule. Checked as if it were a
+// non-runtime, non-bench library file. Expected findings: exactly TWO (the
+// path-call and the builder-method VIOLATION lines).
+
+use std::thread;
+
+fn path_spawn() {
+    let h = thread::spawn(|| 1 + 1); // VIOLATION: thread spawn outside runtime/bench
+    drop(h);
+}
+
+fn builder_spawn() {
+    let h = thread::Builder::new()
+        .name("rogue".into())
+        .spawn(|| 2 + 2); // VIOLATION: builder spawn outside runtime/bench
+    drop(h);
+}
+
+fn justified() {
+    // swift-lint: allow(thread-spawn) -- fixture: scoped helper joined before return
+    let h = thread::spawn(|| 3 + 3);
+    drop(h);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::thread;
+
+    #[test]
+    fn tests_may_spawn() {
+        thread::spawn(|| ()).join().expect("joins");
+    }
+}

@@ -1,0 +1,36 @@
+// Fixture for the topology checker's blocking-send cycle detection,
+// written in the runtime's idioms (checked as if it were
+// `crates/runtime/src/lib.rs`). The coordinator blocking-sends data to the
+// worker, and the worker acks on a *bounded* barrier channel — the ack can
+// block, closing a coordinator -> swift-worker -> coordinator cycle.
+
+use std::sync::mpsc;
+use std::thread;
+
+enum ShardMsg {
+    Batch(u64),
+}
+
+fn worker_loop(rx: mpsc::Receiver<ShardMsg>, barrier_tx: mpsc::SyncSender<u64>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(seq) => {
+                barrier_tx.send(seq).expect("coordinator alive");
+            }
+        }
+    }
+}
+
+fn build() {
+    let queue_capacity = 4usize;
+    let (tx, rx) = mpsc::sync_channel(queue_capacity);
+    // BUG under test: a bounded ack channel makes the ack a blocking send.
+    let (barrier_tx, barrier_rx) = mpsc::sync_channel(1);
+    let handle = thread::Builder::new()
+        .name("swift-worker".to_string())
+        .spawn(move || worker_loop(rx, barrier_tx))
+        .expect("spawn");
+    tx.send(ShardMsg::Batch(1)).expect("worker alive");
+    let _ = barrier_rx.recv().expect("ack");
+    drop(handle);
+}

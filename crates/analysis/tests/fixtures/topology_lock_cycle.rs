@@ -1,0 +1,22 @@
+// Fixture for the lock-order cycle detection: `one_then_two` and
+// `two_then_one` take the same pair of mutexes in opposite orders — two
+// threads running them concurrently can deadlock.
+
+use std::sync::Mutex;
+
+struct Tables {
+    routing: Mutex<Vec<u64>>,
+    forwarding: Mutex<Vec<u64>>,
+}
+
+fn one_then_two(t: &Tables) {
+    let routing = t.routing.lock().expect("unpoisoned");
+    let forwarding = t.forwarding.lock().expect("unpoisoned");
+    drop((routing, forwarding));
+}
+
+fn two_then_one(t: &Tables) {
+    let forwarding = t.forwarding.lock().expect("unpoisoned");
+    let routing = t.routing.lock().expect("unpoisoned");
+    drop((routing, forwarding));
+}

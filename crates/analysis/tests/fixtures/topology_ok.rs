@@ -1,0 +1,34 @@
+// Fixture for the topology checker's happy path: the same shape as
+// `topology_blocking_cycle.rs` but with the ack flowing on an *unbounded*
+// control channel — the blocking-send graph is a DAG and every channel has
+// a sender and a receiver.
+
+use std::sync::mpsc;
+use std::thread;
+
+enum ShardMsg {
+    Batch(u64),
+}
+
+fn worker_loop(rx: mpsc::Receiver<ShardMsg>, barrier_tx: mpsc::Sender<u64>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(seq) => {
+                barrier_tx.send(seq).expect("coordinator alive");
+            }
+        }
+    }
+}
+
+fn build() {
+    let queue_capacity = 4usize;
+    let (tx, rx) = mpsc::sync_channel(queue_capacity);
+    let (barrier_tx, barrier_rx) = mpsc::channel();
+    let handle = thread::Builder::new()
+        .name("swift-worker".to_string())
+        .spawn(move || worker_loop(rx, barrier_tx))
+        .expect("spawn");
+    tx.send(ShardMsg::Batch(1)).expect("worker alive");
+    let _ = barrier_rx.recv().expect("ack");
+    drop(handle);
+}

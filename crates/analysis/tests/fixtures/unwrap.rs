@@ -1,0 +1,45 @@
+// Fixture for the `unwrap` rule. Checked as if it were a library crate's
+// `src/` file. Expected findings: ONE `unwrap` (the VIOLATION line) and ONE
+// `pragma` (the allow without a reason suppresses nothing and is itself
+// flagged — so its bare unwrap also fires: TWO `unwrap` findings total).
+
+fn bare() -> u32 {
+    let v: Option<u32> = Some(1);
+    v.unwrap() // VIOLATION: bare unwrap in library code
+}
+
+fn named_invariant() -> u32 {
+    let v: Option<u32> = Some(1);
+    v.expect("seeded one line up")
+}
+
+fn unwrap_or_is_fine() -> u32 {
+    let v: Option<u32> = None;
+    v.unwrap_or(7) + v.unwrap_or_default() + v.unwrap_or_else(|| 9)
+}
+
+fn justified() -> u32 {
+    let v: Option<u32> = Some(1);
+    // swift-lint: allow(unwrap) -- fixture: invariant guaranteed by construction above
+    v.unwrap()
+}
+
+fn reasonless_pragma_does_not_suppress() -> u32 {
+    let v: Option<u32> = Some(1);
+    // swift-lint: allow(unwrap)
+    v.unwrap() // still a VIOLATION: the pragma above carries no reason
+}
+
+// "a .unwrap() in a string is fine" — and in this comment too.
+fn in_string() -> &'static str {
+    "x.unwrap()"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

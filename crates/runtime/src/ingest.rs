@@ -185,6 +185,7 @@ impl IngestHandle {
     /// session's home shard. Dispatches the shard's batch when full,
     /// honouring the configured backpressure policy.
     pub fn ingest(&mut self, peer: PeerId, event: ElementaryEvent) {
+        // swift-lint: allow(instant-now) -- one-time run-start stamp: OnceLock makes this a single atomic load after the first event, not a per-event clock read
         self.shared.started.get_or_init(Instant::now);
         if self.since_refresh == 0 {
             self.shared.clock.refresh();

@@ -287,13 +287,24 @@ impl RuntimeReport {
     /// [`RuntimeReport::pending_events`],
     /// [`RuntimeReport::forwarding_next_hop`]).
     pub fn applier(&self) -> &Applier {
-        match self.appliers.as_slice() {
-            [single] => single,
-            parts => panic!(
+        self.try_applier().unwrap_or_else(|| {
+            panic!(
                 "applier() needs applier_shards = 1, but the runtime ran {} applier shards; \
                  use appliers() or the aggregate accessors",
-                parts.len()
-            ),
+                self.appliers.len()
+            )
+        })
+    }
+
+    /// Non-panicking sibling of [`RuntimeReport::applier`]: `Some` exactly
+    /// when the serialized state is unpartitioned (a single applier shard, or
+    /// inline mode), `None` under `applier_shards >= 2`. Bench and harness
+    /// code must branch on this instead of calling the panicking accessor —
+    /// the `bare-applier` lint (`swift-analysis`) enforces it.
+    pub fn try_applier(&self) -> Option<&Applier> {
+        match self.appliers.as_slice() {
+            [single] => Some(single),
+            _ => None,
         }
     }
 
@@ -1755,6 +1766,23 @@ mod tests {
     #[should_panic(expected = "applier() needs applier_shards = 1")]
     fn single_applier_accessor_refuses_partitioned_reports() {
         let report = run_blocks(2, 2, 2, 200);
+        assert!(
+            report.try_applier().is_none(),
+            "try_applier must decline a partitioned report instead of panicking"
+        );
         let _ = report.applier();
+    }
+
+    #[test]
+    fn try_applier_yields_the_single_shard() {
+        let report = run_blocks(2, 1, 2, 200);
+        let applier = report
+            .try_applier()
+            .expect("applier_shards = 1 reports expose the single applier");
+        assert_eq!(
+            applier.forwarding().swift_rule_count(),
+            report.swift_rule_count(),
+            "single-shard aggregate equals the shard itself"
+        );
     }
 }

@@ -89,7 +89,7 @@ impl HyperbolicGenerator {
                 distances.push((hyperbolic_distance(&coords[i], &coords[j]), i, j));
             }
         }
-        distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        distances.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         // Pick exactly the number of edges that yields the target average degree.
         let target_edges = ((self.config.target_avg_degree * n as f64) / 2.0).round() as usize;
@@ -139,7 +139,7 @@ impl HyperbolicGenerator {
                 .enumerate()
                 .max_by_key(|(_, c)| c.len())
                 .map(|(i, _)| i)
-                .unwrap();
+                .expect("components.len() > 1 checked above");
             let giant: std::collections::BTreeSet<Asn> =
                 components[giant_idx].iter().copied().collect();
 

@@ -470,10 +470,15 @@ impl Corpus {
             } else {
                 // Re-announce over a path that bypasses the failed link.
                 let original = rib_paths.get(prefix).expect("prefix from rib");
-                let hops: Vec<u32> = std::iter::once(original.first_hop().unwrap().value())
-                    .chain(std::iter::once(alternate_hop.value()))
-                    .chain(original.origin().map(|a| a.value()))
-                    .collect();
+                let hops: Vec<u32> = std::iter::once(
+                    original
+                        .first_hop()
+                        .expect("rib paths are non-empty")
+                        .value(),
+                )
+                .chain(std::iter::once(alternate_hop.value()))
+                .chain(original.origin().map(|a| a.value()))
+                .collect();
                 messages.push(BgpMessage::announce(
                     t,
                     *prefix,
