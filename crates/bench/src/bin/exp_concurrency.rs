@@ -27,20 +27,32 @@
 //! The ≥4× @ 8-shard target assumes ≥8 physical cores; the harness prints the
 //! available parallelism so CI boxes with fewer cores read as what they are.
 //!
+//! Every run appends one record (config, `git describe`, per-mode rows) to
+//! the `--bench-out` trajectory file, so the checked-in file accumulates a
+//! history of sweeps rather than holding only the latest. With
+//! `--metrics-out PATH` the sweep also streams JSON lines — a registry
+//! snapshot and a per-stage latency summary per sharded mode — through the
+//! same `swift_telemetry` exporter the soak harness uses, and re-validates
+//! the emitted stream before exiting.
+//!
 //! Usage: `exp_concurrency [--smoke] [--shards 1,2,4,8] [--ingest-threads N]
-//! [--applier-shards K]`
+//! [--applier-shards K] [--bench-out PATH] [--metrics-out PATH]`
 //!   `--smoke` runs a reduced sweep with scaled-down thresholds (used by CI).
 //!   `--applier-shards K` partitions the applier stage K ways by prefix
 //!   range (decisions are made in the session engines, so the sweep's
 //!   equivalence assertion is unaffected by K).
 
+use std::path::Path;
 use std::time::Instant;
-use swift_bench::harness::{available_cores, mode_line, secs, ExpArgs};
+use swift_bench::harness::{available_cores, git_describe, mode_line, secs, unix_time, ExpArgs};
 use swift_bench::per_session_decisions;
 use swift_bgp::{ElementaryEvent, PeerId};
 use swift_core::encoding::ReroutingPolicy;
 use swift_core::{InferenceConfig, SwiftConfig, SwiftRouter};
 use swift_runtime::{RuntimeConfig, ShardedRuntime};
+use swift_telemetry::{
+    append_trajectory, json_array, summary_object, Json, JsonLinesWriter, JsonObject,
+};
 use swift_traces::interleave::{MultiSessionConfig, MultiSessionTrace};
 
 /// One sweep point.
@@ -67,6 +79,15 @@ fn main() {
             vec![1, 2, 4, 8]
         }
     });
+    let bench_out = args
+        .value("--bench-out")
+        .unwrap_or("BENCH_concurrency.json")
+        .to_string();
+    let metrics_out = args.value("--metrics-out").map(str::to_string);
+    let mut metrics = metrics_out.as_deref().map(|p| {
+        JsonLinesWriter::create(Path::new(p)).unwrap_or_else(|e| panic!("creating {p}: {e}"))
+    });
+    let mut runs: Vec<String> = Vec::new();
 
     // Smoke scales the thresholds with the table so CI exercises the full
     // accept path; the full sweep uses the paper's defaults.
@@ -161,6 +182,25 @@ fn main() {
             secs(base_resync),
             accepted,
         );
+        let sweep_row = |label: &str, shards: usize, producers: usize| {
+            JsonObject::new()
+                .str("label", label)
+                .u64("sessions", sweep.sessions as u64)
+                .u64("prefixes_per_session", sweep.prefixes_per_session as u64)
+                .u64("burst", sweep.burst as u64)
+                .u64("events", events.len() as u64)
+                .u64("shards", shards as u64)
+                .u64("applier_shards", applier_shards as u64)
+                .u64("producers", producers as u64)
+        };
+        runs.push(
+            sweep_row("baseline", 0, 1)
+                .f64("pipeline_s", secs(base_pipeline))
+                .f64("ev_per_s", base_rate)
+                .f64("resync_s", secs(base_resync))
+                .u64("reroutes", accepted as u64)
+                .finish(),
+        );
 
         // --- Deterministic inline runtime --------------------------------
         let mut det = ShardedRuntime::new(
@@ -183,6 +223,12 @@ fn main() {
             secs(det_pipeline),
             events.len() as f64 / secs(det_pipeline),
         );
+        runs.push(
+            sweep_row("det", 0, 1)
+                .f64("pipeline_s", secs(det_pipeline))
+                .f64("ev_per_s", events.len() as f64 / secs(det_pipeline))
+                .finish(),
+        );
 
         // --- Sharded runtime ---------------------------------------------
         // Pre-split the stream outside the timed window: the single-producer
@@ -203,6 +249,7 @@ fn main() {
                 trace.table.clone(),
                 ReroutingPolicy::allow_all(),
             );
+            let registry = runtime.registry();
             let t0 = Instant::now();
             if ingest_threads > 1 {
                 // Each producer thread owns one handle and one disjoint
@@ -251,9 +298,94 @@ fn main() {
                 ),
                 secs(resync),
             );
+            runs.push(
+                sweep_row(&label, shards, report.metrics.producers)
+                    .f64("pipeline_s", secs(pipeline))
+                    .f64("ev_per_s", events.len() as f64 / secs(pipeline))
+                    .f64("resync_s", secs(resync))
+                    .u64("reroute_p50_us", report.metrics.reroute_latency.p50)
+                    .u64("reroute_p99_us", report.metrics.reroute_latency.p99)
+                    .finish(),
+            );
+            if let Some(metrics) = metrics.as_mut() {
+                let m = &report.metrics;
+                let counters = registry
+                    .snapshot()
+                    .iter()
+                    .fold(JsonObject::new(), |o, (k, v)| o.u64(k, *v));
+                let snapshot = JsonObject::new()
+                    .str("kind", "snapshot")
+                    .str("mode", &label)
+                    .u64("sessions", sweep.sessions as u64)
+                    .raw("counters", &counters.finish())
+                    .finish();
+                metrics.emit(&snapshot).expect("writing metrics line");
+                let stages = json_array(m.stages.rows().iter().map(|(name, s)| {
+                    JsonObject::new()
+                        .str("stage", name)
+                        .raw("us", &summary_object(&s.scaled_down(1_000)))
+                        .finish()
+                }));
+                let summary = JsonObject::new()
+                    .str("kind", "summary")
+                    .str("mode", &label)
+                    .u64("sessions", sweep.sessions as u64)
+                    .f64("wall_s", secs(pipeline))
+                    .f64("ev_per_s", events.len() as f64 / secs(pipeline))
+                    .u64("events", events.len() as u64)
+                    .u64("traced", m.stages.traced())
+                    .raw(
+                        "reroute_us",
+                        &summary_object(&m.reroute_histogram.summary().scaled_down(1_000)),
+                    )
+                    .raw("stages", &stages)
+                    .finish();
+                metrics.emit(&summary).expect("writing metrics line");
+            }
         }
         println!();
     }
+
+    if let Some(mut metrics) = metrics.take() {
+        metrics.flush().expect("flushing metrics stream");
+        let lines = metrics.lines();
+        let path = metrics_out.as_deref().expect("writer implies a path");
+        let raw =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("re-reading {path}: {e}"));
+        let mut summaries = 0usize;
+        for line in raw.lines() {
+            let obj = Json::parse(line).unwrap_or_else(|e| panic!("invalid metrics line: {e}"));
+            let kind = obj.get("kind").and_then(Json::as_str).expect("kind field");
+            assert!(obj.get("mode").is_some(), "metrics line without a mode");
+            if kind == "summary" {
+                assert!(obj.get("stages").is_some(), "summary without stages");
+                summaries += 1;
+            }
+        }
+        assert_eq!(
+            summaries,
+            shard_counts.len() * sweeps.len(),
+            "one summary line per sharded mode per sweep"
+        );
+        println!("metrics stream: {lines} JSON lines written to {path} (validated)\n");
+    }
+
+    let record = JsonObject::new()
+        .str("git", &git_describe())
+        .u64("unix_time", unix_time())
+        .str("tier", if smoke { "smoke" } else { "full" })
+        .u64("cores", cores as u64)
+        .u64("ingest_threads", ingest_threads as u64)
+        .u64("applier_shards", applier_shards as u64)
+        .raw(
+            "shards",
+            &json_array(shard_counts.iter().map(|s| s.to_string())),
+        )
+        .raw("runs", &json_array(runs))
+        .finish();
+    let records = append_trajectory(Path::new(&bench_out), &record)
+        .unwrap_or_else(|e| panic!("appending to {bench_out}: {e}"));
+    println!("trajectory appended to {bench_out} ({records} run records)\n");
 
     if smoke {
         println!("smoke sweep done: every mode reached the baseline's per-session decisions");

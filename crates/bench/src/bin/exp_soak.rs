@@ -26,30 +26,53 @@
 //! reach identical per-session reroute decisions — the soak's numbers are
 //! only trustworthy because the work is provably the same. Reported per
 //! mode: wall time, events/s, resyncs and rules removed, reroute latency
-//! p50/p99, per-shard and per-applier queue high-waters, and one line per
+//! p50/p99, per-shard and per-applier queue high-waters, one line per
 //! applier shard (installs, deferred-RIB high-water and events folded at
-//! resync). With `--applier-shards K` the serialized applier stage is
-//! partitioned K ways by prefix range; K = 1 is the single-applier
-//! reference. The run's trajectory (wall, ev/s, latency percentiles,
-//! per-stage queue high-waters per mode) is also written to
-//! `BENCH_soak.json` (`--bench-out PATH` overrides).
+//! resync), and the sampled per-stage reroute breakdown (queue wait vs
+//! inference vs applier wait vs install, p50/p99 from the runtime's merged
+//! `swift_telemetry` histograms). With `--applier-shards K` the serialized
+//! applier stage is partitioned K ways by prefix range; K = 1 is the
+//! single-applier reference.
+//!
+//! Observability plumbing exercised every run:
+//!
+//! * the run **appends** one record (config + `git describe` + all mode
+//!   rows) to the `BENCH_soak.json` trajectory — history accumulates across
+//!   runs instead of being overwritten (`--bench-out PATH` overrides);
+//! * `--metrics-out PATH` streams JSON-lines telemetry: live registry
+//!   snapshots at logarithmically-spaced resync points plus one summary
+//!   line per mode (wall, ev/s, per-shard events, per-applier installs,
+//!   stage histograms), then re-parses the file with the crate's own JSON
+//!   reader to prove the schema round-trips;
+//! * a `swift_telemetry::DumpOnPanic` guard arms the runtime's flight
+//!   recorder, so a panic or equivalence-assert failure dumps the recent
+//!   lifecycle history (registers, teardowns, barriers, resyncs, sheds);
+//! * the cost of 1-in-1024 sampled tracing is measured against the
+//!   untraced dispatch loop (min of interleaved walls) and asserted < 2 %
+//!   plus the run's own A/A noise floor (see [`measure_tracing_overhead`]).
 //!
 //! Tiers: `--smoke` (6 sessions × 4k prefixes, CI-sized) vs the default full
 //! tier (213 sessions × 10k prefixes, ~2.1M-prefix vantage table — run it on
 //! a multi-core box with a few GB of memory).
 //!
 //! Usage: `exp_soak [--smoke] [--shards 2,4] [--applier-shards K]
-//! [--ingest-threads N] [--no-churn] [--bench-out PATH]`
+//! [--ingest-threads N] [--no-churn] [--bench-out PATH]
+//! [--metrics-out PATH] [--no-overhead-check]`
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
-use swift_bench::harness::{mode_line, secs, ExpArgs};
+use swift_bench::harness::{git_describe, mode_line, secs, unix_time, ExpArgs};
 use swift_bench::per_session_decisions;
-use swift_bgp::{Asn, PeerId, Prefix, Route};
+use swift_bgp::{Asn, ElementaryEvent, PeerId, Prefix, Route};
 use swift_core::encoding::ReroutingPolicy;
 use swift_core::{EncodingConfig, InferenceConfig, SwiftConfig};
-use swift_runtime::{RuntimeConfig, ShardedRuntime};
+use swift_runtime::{RuntimeConfig, RuntimeMetrics, ShardedRuntime};
+use swift_telemetry::{
+    append_trajectory, json_array, summary_object, DumpOnPanic, Json, JsonLinesWriter, JsonObject,
+    Registry,
+};
 use swift_traces::corpus::{Corpus, TraceConfig};
 use swift_traces::soak::{pick_feasible_flaps, ReplayItem, SoakConfig, SoakReplay};
 
@@ -67,18 +90,176 @@ struct SoakOutcome {
     downs: usize,
     ups: usize,
     flaps_skipped: usize,
+    /// The runtime's flight recorder, kept alive past `finish()` so the
+    /// harness can arm a [`DumpOnPanic`] guard around the equivalence
+    /// assertions too.
+    flight: swift_telemetry::FlightRecorder,
+}
+
+/// Streams registry snapshots and per-mode summaries as JSON lines
+/// (`--metrics-out`).
+struct MetricsExporter {
+    writer: JsonLinesWriter,
+}
+
+impl MetricsExporter {
+    fn create(path: &str) -> Self {
+        MetricsExporter {
+            writer: JsonLinesWriter::create(Path::new(path))
+                .unwrap_or_else(|e| panic!("creating {path}: {e}")),
+        }
+    }
+
+    /// True for resync counts worth a live snapshot: logarithmic spacing
+    /// (0, 1, 2, 4, 8, ...) bounds the stream to O(log resyncs) lines per
+    /// mode while still covering the run's start, ramp and steady state.
+    fn due(resyncs: usize) -> bool {
+        resyncs == 0 || resyncs.is_power_of_two()
+    }
+
+    /// One live registry snapshot: every named counter/gauge, mid-run,
+    /// without stopping the pipeline.
+    fn snapshot(&mut self, mode: &str, registry: &Registry, resyncs: usize, rules_removed: usize) {
+        let counters = registry
+            .snapshot()
+            .iter()
+            .fold(JsonObject::new(), |o, (k, v)| o.u64(k, *v));
+        let line = JsonObject::new()
+            .str("kind", "snapshot")
+            .str("mode", mode)
+            .u64("resyncs", resyncs as u64)
+            .u64("rules_removed", rules_removed as u64)
+            .raw("counters", &counters.finish())
+            .finish();
+        self.writer.emit(&line).expect("writing metrics line");
+    }
+
+    /// The per-mode summary line: wall, rates, per-shard events, per-applier
+    /// installs and the merged stage histograms (µs).
+    fn mode_summary(&mut self, mode: &str, outcome: &SoakOutcome, events: u64) {
+        let m = &outcome.report.metrics;
+        let per_shard = json_array(m.per_shard.iter().map(|s| {
+            JsonObject::new()
+                .u64("shard", s.shard as u64)
+                .u64("events", s.events)
+                .u64("queue_hw", s.max_queue_depth as u64)
+                .finish()
+        }));
+        let per_applier = json_array(m.per_applier.iter().map(|a| {
+            JsonObject::new()
+                .u64("applier", a.shard as u64)
+                .u64("events", a.events)
+                .u64("installs", a.installs)
+                .u64("rib_pending_hw", a.pending_high_water as u64)
+                .finish()
+        }));
+        let stages = json_array(m.stages.rows().iter().map(|(name, s)| {
+            JsonObject::new()
+                .str("stage", name)
+                .raw("us", &summary_object(&s.scaled_down(1_000)))
+                .finish()
+        }));
+        let line = JsonObject::new()
+            .str("kind", "summary")
+            .str("mode", mode)
+            .f64("wall_s", secs(outcome.pipeline))
+            .f64("ev_per_s", events as f64 / secs(outcome.pipeline))
+            .u64("events", events)
+            .u64("producers", outcome.producers as u64)
+            .u64("resyncs", outcome.resyncs as u64)
+            .u64("rules_removed", outcome.rules_removed as u64)
+            .u64("traced", m.stages.traced())
+            .raw(
+                "reroute_us",
+                &summary_object(&m.reroute_histogram.summary().scaled_down(1_000)),
+            )
+            .raw("stages", &stages)
+            .raw("per_shard", &per_shard)
+            .raw("per_applier", &per_applier)
+            .finish();
+        self.writer.emit(&line).expect("writing metrics line");
+    }
+
+    fn finish(mut self) -> usize {
+        self.writer.flush().expect("flushing metrics stream");
+        self.writer.lines()
+    }
+}
+
+/// Re-parses the emitted JSON-lines stream with the telemetry crate's own
+/// reader and checks the closed schema: every line parses, snapshots carry
+/// live counters, and every mode contributed one summary with all four
+/// pipeline stages.
+fn validate_metrics_stream(path: &str, modes: usize) {
+    let content =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading back {path}: {e}"));
+    let mut summaries = 0usize;
+    for (i, line) in content.lines().enumerate() {
+        let v = Json::parse(line)
+            .unwrap_or_else(|e| panic!("{path}:{}: invalid JSON line: {e}", i + 1));
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{path}:{}: missing kind", i + 1));
+        assert!(
+            v.get("mode").and_then(Json::as_str).is_some(),
+            "{path}:{}: missing mode",
+            i + 1
+        );
+        match kind {
+            "snapshot" => {
+                let counters = v.get("counters").expect("snapshot carries counters");
+                assert!(
+                    counters
+                        .get("ingest.events")
+                        .and_then(Json::as_u64)
+                        .is_some(),
+                    "{path}:{}: snapshot lacks ingest.events",
+                    i + 1
+                );
+            }
+            "summary" => {
+                summaries += 1;
+                for key in ["wall_s", "ev_per_s", "events", "reroute_us"] {
+                    assert!(v.get(key).is_some(), "{path}:{}: missing {key}", i + 1);
+                }
+                let stages = v
+                    .get("stages")
+                    .and_then(Json::as_array)
+                    .expect("summary carries stages");
+                let names: Vec<&str> = stages
+                    .iter()
+                    .filter_map(|s| s.get("stage").and_then(Json::as_str))
+                    .collect();
+                assert_eq!(
+                    names,
+                    ["queue_wait", "inference", "applier_wait", "install"],
+                    "{path}:{}: stage rows out of shape",
+                    i + 1
+                );
+            }
+            other => panic!("{path}:{}: unknown line kind {other:?}", i + 1),
+        }
+    }
+    assert_eq!(
+        summaries, modes,
+        "{path}: expected one summary line per runtime mode"
+    );
 }
 
 /// Replays the whole corpus through one runtime configuration from a single
 /// producer (the runtime's default handle), honouring the stream's lifecycle
 /// markers and convergence points.
+#[allow(clippy::too_many_arguments)]
 fn drive(
+    label: &str,
     shards: usize,
     applier_shards: usize,
     template: &SoakReplay<'_>,
     table: &swift_bgp::RoutingTable,
     swift: &SwiftConfig,
     flap_routes: &FlapRoutes,
+    exporter: &mut Option<MetricsExporter>,
 ) -> SoakOutcome {
     let mut runtime = ShardedRuntime::new(
         RuntimeConfig {
@@ -89,6 +270,9 @@ fn drive(
         table.clone(),
         ReroutingPolicy::allow_all(),
     );
+    let flight = runtime.flight();
+    let registry = runtime.registry();
+    let guard = DumpOnPanic::arm(&flight, format!("soak replay [{label}]"));
     let mut replay = template.clone();
     let (mut resyncs, mut rules_removed, mut downs, mut ups) = (0usize, 0usize, 0usize, 0usize);
     let t0 = Instant::now();
@@ -98,6 +282,11 @@ fn drive(
             ReplayItem::Converged { .. } => {
                 rules_removed += runtime.resync_after_convergence();
                 resyncs += 1;
+                if let Some(exporter) = exporter.as_mut() {
+                    if MetricsExporter::due(resyncs) {
+                        exporter.snapshot(label, &registry, resyncs, rules_removed);
+                    }
+                }
             }
             ReplayItem::SessionDown { peer, .. } => {
                 runtime.teardown_session(peer);
@@ -115,6 +304,7 @@ fn drive(
     // The trailing resync after the corpus's last burst.
     rules_removed += runtime.resync_after_convergence();
     resyncs += 1;
+    drop(guard);
     SoakOutcome {
         report: runtime.finish(),
         pipeline,
@@ -124,6 +314,7 @@ fn drive(
         downs,
         ups,
         flaps_skipped: replay.flaps_skipped(),
+        flight,
     }
 }
 
@@ -139,6 +330,7 @@ fn drive(
 /// thread.
 #[allow(clippy::too_many_arguments)]
 fn drive_multi(
+    label: &str,
     shards: usize,
     applier_shards: usize,
     producers: usize,
@@ -147,6 +339,7 @@ fn drive_multi(
     table: &swift_bgp::RoutingTable,
     swift: &SwiftConfig,
     flap_routes: &FlapRoutes,
+    exporter: &mut Option<MetricsExporter>,
 ) -> SoakOutcome {
     assert!(shards > 0, "multi-producer ingest needs a sharded runtime");
     let mut runtime = ShardedRuntime::new(
@@ -158,6 +351,9 @@ fn drive_multi(
         table.clone(),
         ReroutingPolicy::allow_all(),
     );
+    let flight = runtime.flight();
+    let registry = runtime.registry();
+    let guard = DumpOnPanic::arm(&flight, format!("soak replay [{label}]"));
     let sources = template.partition_sources(producers);
     let rendezvous = Barrier::new(producers + 1);
     // (downs, ups, flaps skipped) across producers; every fully-consumed
@@ -238,6 +434,11 @@ fn drive_multi(
                 owed_release.set(true);
                 rules_removed += runtime.resync_after_convergence();
                 resyncs += 1;
+                if let Some(exporter) = exporter.as_mut() {
+                    if MetricsExporter::due(resyncs) {
+                        exporter.snapshot(label, &registry, resyncs, rules_removed);
+                    }
+                }
                 rendezvous.wait();
                 owed_release.set(false);
                 completed.set(completed.get() + 1);
@@ -265,6 +466,7 @@ fn drive_multi(
     let pipeline = t0.elapsed();
     rules_removed += runtime.resync_after_convergence();
     resyncs += 1;
+    drop(guard);
     let (downs, ups, flaps_skipped) = *churn.lock().expect("churn totals lock");
     SoakOutcome {
         report: runtime.finish(),
@@ -275,6 +477,7 @@ fn drive_multi(
         downs,
         ups,
         flaps_skipped,
+        flight,
     }
 }
 
@@ -295,6 +498,82 @@ fn print_per_applier(metrics: &swift_runtime::RuntimeMetrics) {
             secs(a.busy),
         );
     }
+}
+
+/// The sampled per-stage reroute breakdown: where the pipeline spends its
+/// time between ingest and rule install, from the merged
+/// `swift_telemetry::StageHistograms` (recorded in ns, reported in µs).
+fn print_stage_breakdown(metrics: &RuntimeMetrics) {
+    if metrics.stages.is_empty() {
+        return;
+    }
+    println!(
+        "      stage breakdown ({} traced, 1-in-{} sampling):",
+        metrics.stages.traced(),
+        RuntimeConfig::sharded(1).trace_sample_interval,
+    );
+    for (name, summary) in metrics.stages.rows() {
+        let s = summary.scaled_down(1_000);
+        println!(
+            "        {name:<12} p50 {:>7} µs  p99 {:>7} µs  max {:>8} µs  (n={})",
+            s.p50, s.p99, s.max, s.count,
+        );
+    }
+}
+
+/// Measures what 1-in-1024 sampled tracing costs on the ingest dispatch
+/// loop: `bench_ingest`'s engine-less workload (dispatch dominates, engine
+/// work ~zero), traced vs untraced.
+///
+/// Pipeline walls on a time-shared box carry scheduler noise that can dwarf
+/// the effect being measured, so the rounds interleave **three** runs —
+/// untraced, untraced again, sampled — and the spread between the two
+/// untraced mins is returned as the run's own A/A noise floor. The caller
+/// budgets `2 % + noise`: on an idle CI runner the noise term is ~zero and
+/// the gate is tight; on a loaded box the gate degrades to "no worse than
+/// the measurement can resolve" instead of flaking. Returns
+/// `(overhead, noise)` as fractions (0.01 = 1 %).
+fn measure_tracing_overhead(rounds: usize) -> (f64, f64) {
+    const EVENTS: u32 = 300_000;
+    let stream: Vec<(PeerId, ElementaryEvent)> = (0..EVENTS)
+        .map(|i| {
+            (
+                PeerId(1 + i % 8),
+                ElementaryEvent::Withdraw {
+                    timestamp: u64::from(i) * 1_000,
+                    prefix: Prefix::nth_slash24(i % 10_000),
+                },
+            )
+        })
+        .collect();
+    let dispatch = |trace_sample_interval: usize| -> Duration {
+        let mut rt = ShardedRuntime::new(
+            RuntimeConfig {
+                trace_sample_interval,
+                ..RuntimeConfig::sharded(1)
+            },
+            SwiftConfig::default(),
+            swift_bgp::RoutingTable::new(),
+            ReroutingPolicy::allow_all(),
+        );
+        let t0 = Instant::now();
+        rt.ingest_stream(stream.iter().cloned());
+        rt.flush();
+        let wall = t0.elapsed();
+        let report = rt.finish();
+        assert_eq!(report.metrics.events, u64::from(EVENTS));
+        wall
+    };
+    let (mut untraced_a, mut untraced_b, mut sampled) =
+        (Duration::MAX, Duration::MAX, Duration::MAX);
+    for _ in 0..rounds {
+        untraced_a = untraced_a.min(dispatch(0));
+        untraced_b = untraced_b.min(dispatch(0));
+        sampled = sampled.min(dispatch(1_024));
+    }
+    let noise = (secs(untraced_b) / secs(untraced_a) - 1.0).abs();
+    let floor = untraced_a.min(untraced_b);
+    (secs(sampled) / secs(floor) - 1.0, noise)
 }
 
 /// One `BENCH_soak.json` trajectory entry, hand-rolled (no JSON dependency).
@@ -353,6 +632,8 @@ fn main() {
         .value("--bench-out")
         .unwrap_or("BENCH_soak.json")
         .to_string();
+    let metrics_out = args.value("--metrics-out").map(str::to_string);
+    let overhead_check = !args.flag("--no-overhead-check");
     let shard_counts: Vec<usize> =
         args.usize_list("--shards")
             .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![2, 4, 8] });
@@ -428,8 +709,46 @@ fn main() {
         swift_bench::harness::available_cores(),
     );
 
+    // --- Sampled-tracing overhead -----------------------------------------
+    // 1-in-1024 tracing must be effectively free on the dispatch loop; the
+    // paper-scale replays below all run with it on. The budget is 2 % plus
+    // the run's own A/A noise floor, re-measured once before failing.
+    let overhead = if overhead_check {
+        let (mut overhead, mut noise) = measure_tracing_overhead(7);
+        if overhead >= 0.02 + noise {
+            (overhead, noise) = measure_tracing_overhead(7);
+        }
+        println!(
+            "sampled tracing overhead (1-in-1024, min-of-7 interleaved dispatch walls): \
+             {:+.2}%  (< 2% + {:.2}% A/A noise required)\n",
+            overhead * 100.0,
+            noise * 100.0,
+        );
+        assert!(
+            overhead < 0.02 + noise,
+            "1-in-1024 sampled tracing costs {:.2}% on the dispatch loop \
+             (budget: 2% + {:.2}% measured noise floor)",
+            overhead * 100.0,
+            noise * 100.0,
+        );
+        overhead
+    } else {
+        f64::NAN
+    };
+
+    let mut exporter = metrics_out.as_deref().map(MetricsExporter::create);
+
     // --- Inline baseline --------------------------------------------------
-    let baseline = drive(0, 1, &template, &table, &swift_config, &flap_routes);
+    let baseline = drive(
+        "inline",
+        0,
+        1,
+        &template,
+        &table,
+        &swift_config,
+        &flap_routes,
+        &mut exporter,
+    );
     let session_peers: Vec<PeerId> = template.session_peers().map(|(p, _)| p).collect();
     let base_decisions =
         per_session_decisions(&baseline.report.actions, session_peers.iter().copied());
@@ -459,14 +778,19 @@ fn main() {
         );
     }
 
+    if let Some(exporter) = exporter.as_mut() {
+        exporter.mode_summary("inline", &baseline, events);
+    }
     let mut bench_rows = vec![bench_row("inline", 0, 1, &baseline, base_rate)];
 
     // --- Sharded modes ----------------------------------------------------
     for &shards in &shard_counts {
+        let label = format!("s={shards} a={applier_shards} p={ingest_threads}");
         let outcome = if ingest_threads > 1 {
             // The baseline counted one trailing resync beyond the stream's
             // markers; the coordinator serves exactly the in-stream ones.
             drive_multi(
+                &label,
                 shards,
                 applier_shards,
                 ingest_threads,
@@ -475,17 +799,23 @@ fn main() {
                 &table,
                 &swift_config,
                 &flap_routes,
+                &mut exporter,
             )
         } else {
             drive(
+                &label,
                 shards,
                 applier_shards,
                 &template,
                 &table,
                 &swift_config,
                 &flap_routes,
+                &mut exporter,
             )
         };
+        // The equivalence assertions run under the flight-recorder guard:
+        // a divergence dumps the run's recent lifecycle history.
+        let post_mortem = DumpOnPanic::arm(&outcome.flight, format!("soak assertions [{label}]"));
         assert_eq!(outcome.report.metrics.dropped, 0, "lossless under Block");
         assert_eq!(
             outcome.report.metrics.events, events,
@@ -503,7 +833,7 @@ fn main() {
             "sharded soak ({shards} shards, {} producers) diverged from the inline baseline",
             outcome.producers,
         );
-        let label = format!("s={shards} a={applier_shards} p={}", outcome.producers);
+        drop(post_mortem);
         println!(
             "{}  resyncs {} ({} rules removed)",
             mode_line(
@@ -517,13 +847,41 @@ fn main() {
             outcome.rules_removed,
         );
         print_per_applier(&outcome.report.metrics);
+        print_stage_breakdown(&outcome.report.metrics);
+        if let Some(exporter) = exporter.as_mut() {
+            exporter.mode_summary(&label, &outcome, events);
+        }
         let rate = events as f64 / secs(outcome.pipeline);
         bench_rows.push(bench_row(&label, shards, applier_shards, &outcome, rate));
     }
 
-    let trajectory = format!("[\n  {}\n]\n", bench_rows.join(",\n  "));
-    std::fs::write(&bench_out, trajectory).unwrap_or_else(|e| panic!("writing {bench_out}: {e}"));
-    println!("\ntrajectory written to {bench_out}");
+    if let Some(exporter) = exporter.take() {
+        let lines = exporter.finish();
+        let path = metrics_out.as_deref().expect("exporter implies a path");
+        validate_metrics_stream(path, 1 + shard_counts.len());
+        println!("\nmetrics stream: {lines} JSON lines written to {path} (validated)");
+    }
+
+    // One trajectory record per run — the file accumulates history instead
+    // of being overwritten (legacy single-run files are replaced).
+    let record = JsonObject::new()
+        .str("git", &git_describe())
+        .u64("unix_time", unix_time())
+        .str("tier", if smoke { "smoke" } else { "full" })
+        .raw(
+            "shards",
+            &json_array(shard_counts.iter().map(|s| s.to_string())),
+        )
+        .u64("applier_shards", applier_shards as u64)
+        .u64("ingest_threads", ingest_threads as u64)
+        .bool("churn", churn)
+        .u64("events", events)
+        .f64("tracing_overhead_pct", overhead * 100.0)
+        .raw("runs", &json_array(bench_rows))
+        .finish();
+    let records = append_trajectory(Path::new(&bench_out), &record)
+        .unwrap_or_else(|e| panic!("appending to {bench_out}: {e}"));
+    println!("\ntrajectory appended to {bench_out} ({records} run records)");
 
     println!(
         "soak done: every surviving session's reroute decisions are identical across all modes"

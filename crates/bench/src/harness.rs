@@ -86,6 +86,28 @@ pub fn available_cores() -> usize {
         .unwrap_or(1)
 }
 
+/// `git describe --always --dirty`, so every trajectory record names the tree
+/// it measured; `"unknown"` outside a git checkout.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Seconds since the Unix epoch, for ordering trajectory records.
+pub fn unix_time() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
 /// The deepest queue high-water across all shards of a run.
 pub fn max_queue_depth(metrics: &RuntimeMetrics) -> usize {
     metrics

@@ -140,6 +140,22 @@ fn nearest_rank(q: f64, len: usize) -> usize {
 /// overwrite the oldest, so long runs summarize their recent behaviour with
 /// constant memory and no allocation on the record path. Deterministic (no
 /// randomized reservoir), so identical runs produce identical summaries.
+///
+/// # Eviction approximation
+///
+/// Because the ring evicts oldest-first, the percentiles in
+/// [`LatencyRecorder::summary`] describe only the **retained window**, not
+/// the full run: once more than `capacity` samples arrive, early samples no
+/// longer influence p50/p99 at all (count, mean and max stay lifetime-exact).
+/// The bias is worst when latency drifts over time or differs across shards —
+/// merging shard recorders keeps whole windows, but each window already
+/// over-represents its shard's *recent* behaviour, so the cross-shard
+/// percentile is skewed toward whatever each shard did last. The sharded
+/// runtime therefore reports percentiles from `swift_telemetry::LogHistogram`
+/// (never evicts, bounded ≤ 1/32 relative error, exact bucketwise merge) and
+/// keeps this recorder as the exact-sample reference;
+/// `crates/telemetry/tests/histogram_vs_ring.rs` quantifies the divergence on
+/// skewed distributions.
 #[derive(Debug, Clone)]
 pub struct LatencyRecorder {
     samples: Vec<u64>,

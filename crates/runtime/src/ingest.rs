@@ -39,6 +39,7 @@ use swift_bgp::{Asn, ElementaryEvent, InternedRib, PeerId, Prefix, Route};
 use swift_core::metrics::ProducerCounters;
 use swift_core::pipeline::SessionEngine;
 use swift_core::SwiftConfig;
+use swift_telemetry::{Counter, FlightKind, FlightRecorder, TraceSampler, TraceStamp};
 
 use crate::worker::{IngestEvent, SessionRegistration, ShardMsg};
 use crate::{shard_of, BackpressurePolicy};
@@ -126,6 +127,15 @@ pub(crate) struct ProducerShared {
     /// Finished producers' counters, folded together. Touched only at
     /// handle finish/drop — never on the ingest path.
     pub(crate) merged: Mutex<ProducerCounters>,
+    /// Registry counter `ingest.events`, shared by every producer and bumped
+    /// a batch at a time at dispatch (the per-event path stays counter-free).
+    pub(crate) events_ctr: Counter,
+    /// Registry counter `ingest.dropped`, bumped when a batch is shed.
+    pub(crate) dropped_ctr: Counter,
+    /// Lifecycle flight recorder (shed batches are lifecycle-worthy).
+    pub(crate) flight: FlightRecorder,
+    /// Sampling interval for pipeline tracing (0 = off).
+    pub(crate) trace_interval: usize,
 }
 
 /// One producer's handle into the sharded runtime: a cloneable, `Send`
@@ -156,6 +166,9 @@ pub struct IngestHandle {
     /// Events ingested since the last epoch refresh.
     since_refresh: usize,
     refresh_interval: usize,
+    /// 1-in-N pipeline-trace sampler (per producer, so concurrent handles
+    /// sample independently without sharing hot-path state).
+    sampler: TraceSampler,
     finished: bool,
 }
 
@@ -163,6 +176,7 @@ impl IngestHandle {
     pub(crate) fn new(shared: Arc<ProducerShared>, refresh_interval: usize) -> Self {
         let shards = shared.shard_txs.len();
         let batch = shared.batch_size;
+        let sampler = TraceSampler::every(shared.trace_interval);
         IngestHandle {
             shared,
             buffers: (0..shards).map(|_| Vec::with_capacity(batch)).collect(),
@@ -171,6 +185,7 @@ impl IngestHandle {
             events: 0,
             since_refresh: 0,
             refresh_interval: refresh_interval.max(1),
+            sampler,
             finished: false,
         }
     }
@@ -196,10 +211,18 @@ impl IngestHandle {
         }
         self.events += 1;
         let shard = shard_of(peer, self.buffers.len());
+        // Sampled tracing: the 1-in-N hit pays one precise clock read for its
+        // stamp; the other N−1 events pay a masked counter check.
+        let trace = if self.sampler.sample() {
+            Some(TraceStamp::at(self.shared.clock.precise()))
+        } else {
+            None
+        };
         self.buffers[shard].push(IngestEvent {
             peer,
             event,
             ingest: self.shared.clock.coarse(),
+            trace,
         });
         if self.buffers[shard].len() >= self.shared.batch_size {
             self.dispatch(shard);
@@ -316,6 +339,9 @@ impl IngestHandle {
             &mut self.buffers[shard],
             Vec::with_capacity(self.shared.batch_size),
         );
+        // The live `ingest.events` counter advances a batch at a time — the
+        // per-event ingest path stays free of shared-counter traffic.
+        self.shared.events_ctr.add(batch.len() as u64);
         let new_depth = self.shared.depth[shard].fetch_add(1, Ordering::Relaxed) + 1;
         let high_water = new_depth.min(self.shared.queue_capacity.max(1));
         match self.shared.backpressure {
@@ -328,6 +354,7 @@ impl IngestHandle {
                         self.on_disconnected(shard);
                         self.shared.depth[shard].fetch_sub(1, Ordering::Relaxed);
                         self.dropped[shard] += batch.len() as u64;
+                        self.note_shed(shard, batch.len());
                     }
                     Err(_) => unreachable!("send returns the rejected batch"),
                 }
@@ -340,11 +367,13 @@ impl IngestHandle {
                     Err(TrySendError::Full(ShardMsg::Batch(batch))) => {
                         self.shared.depth[shard].fetch_sub(1, Ordering::Relaxed);
                         self.dropped[shard] += batch.len() as u64;
+                        self.note_shed(shard, batch.len());
                     }
                     Err(TrySendError::Disconnected(ShardMsg::Batch(batch))) => {
                         self.on_disconnected(shard);
                         self.shared.depth[shard].fetch_sub(1, Ordering::Relaxed);
                         self.dropped[shard] += batch.len() as u64;
+                        self.note_shed(shard, batch.len());
                     }
                     Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
                         unreachable!("try_send returns the rejected batch")
@@ -352,6 +381,17 @@ impl IngestHandle {
                 }
             }
         }
+    }
+
+    /// Accounts a shed batch on the live `ingest.dropped` counter and the
+    /// flight recorder — shedding is rare enough to be lifecycle-worthy.
+    fn note_shed(&self, shard: usize, len: usize) {
+        self.shared.dropped_ctr.add(len as u64);
+        self.shared.flight.record(
+            self.shared.clock.precise(),
+            FlightKind::Drop,
+            format!("shard={shard} shed={len}"),
+        );
     }
 
     /// Flush + merge, shared by [`IngestHandle::finish`] and `Drop`.

@@ -29,8 +29,8 @@ use std::time::{Duration, Instant};
 use swift_bgp::{Asn, ElementaryEvent, PeerId, Prefix, Route};
 use swift_core::encoding::PrefixPartitioner;
 use swift_core::inference::{EngineStatus, InferenceResult};
-use swift_core::metrics::LatencyRecorder;
 use swift_core::pipeline::{Applier, SessionEngine};
+use swift_telemetry::{Counter, Gauge, LogHistogram, StageHistograms, TraceStamp};
 
 /// One ingested event on its way to a shard.
 #[derive(Debug)]
@@ -42,6 +42,9 @@ pub(crate) struct IngestEvent {
     /// Coarse ingest time (nanoseconds on the runtime's [`EpochClock`]), for
     /// end-to-end latency accounting.
     pub ingest: u64,
+    /// Sampled-tracing stamp: `Some` on the 1-in-N events that carry
+    /// per-stage attribution through the pipeline.
+    pub trace: Option<TraceStamp>,
 }
 
 /// Controller → shard messages.
@@ -80,6 +83,8 @@ pub(crate) struct ProcessedEvent {
     pub result: Option<InferenceResult>,
     /// Coarse ingest time (nanoseconds on the runtime's [`EpochClock`]).
     pub ingest: u64,
+    /// Sampled-tracing stamp, advanced to the shard's inference boundary.
+    pub trace: Option<TraceStamp>,
 }
 
 /// Shard/controller → applier messages.
@@ -115,7 +120,12 @@ pub(crate) struct ShardWorkerReport {
     pub sessions: usize,
     pub events: u64,
     pub batches: u64,
-    pub latency: LatencyRecorder,
+    /// Ingest → engine-processed latency, in nanoseconds (log-linear
+    /// histogram: cross-shard merges are exact).
+    pub latency: LogHistogram,
+    /// Per-stage spans of this shard's traced events (`queue_wait` and
+    /// `inference` populated here).
+    pub stages: StageHistograms,
     /// Busy span: first batch received → last batch finished.
     pub busy: Duration,
 }
@@ -125,7 +135,12 @@ pub(crate) struct ShardWorkerReport {
 pub(crate) struct ApplierReport {
     pub idx: usize,
     pub applier: Applier,
-    pub reroute_latency: LatencyRecorder,
+    /// Ingest → reroute-rules-installed latency, in nanoseconds (log-linear
+    /// histogram: cross-applier merges are exact).
+    pub reroute_latency: LogHistogram,
+    /// Per-stage spans of traced events reaching this applier
+    /// (`applier_wait` and `install` populated here).
+    pub stages: StageHistograms,
     /// Events folded into this shard's deferred RIB buffer.
     pub events: u64,
     /// Batches received.
@@ -149,8 +164,9 @@ pub(crate) struct ApplierLink {
     pub tx: SyncSender<ApplierMsg>,
     /// Batches currently in (or racing into) the queue.
     pub depth: Arc<AtomicUsize>,
-    /// High-water mark of `depth`, clamped to the queue capacity by senders.
-    pub high: Arc<AtomicUsize>,
+    /// High-water mark of `depth`, clamped to the queue capacity by senders —
+    /// the registry gauge `applier.N.queue.high`, so live snapshots see it.
+    pub high: Gauge,
 }
 
 /// Everything one shard worker thread owns.
@@ -164,15 +180,18 @@ pub(crate) struct ShardWorker {
     pub applier_capacity: usize,
     pub depth: Arc<AtomicUsize>,
     pub clock: Arc<EpochClock>,
-    pub latency_window: usize,
+    /// Registry counter `shard.N.events` — the live source of truth for the
+    /// shard's event count (the exit report reads it back).
+    pub events_ctr: Counter,
+    /// Registry counter `shard.N.batches`.
+    pub batches_ctr: Counter,
 }
 
 /// Counts a batch into the applier's depth gauges and sends it. `Err` means
 /// the applier is gone (shutdown).
 fn send_batch(link: &ApplierLink, capacity: usize, batch: Vec<ProcessedEvent>) -> Result<(), ()> {
     let observed = link.depth.fetch_add(1, Ordering::Relaxed) + 1;
-    link.high
-        .fetch_max(observed.min(capacity), Ordering::Relaxed);
+    link.high.record_max(observed.min(capacity) as u64);
     if link.tx.send(ApplierMsg::Batch(batch)).is_err() {
         link.depth.fetch_sub(1, Ordering::Relaxed);
         return Err(());
@@ -193,12 +212,12 @@ pub(crate) fn shard_loop(w: ShardWorker) -> ShardWorkerReport {
         applier_capacity,
         depth,
         clock,
-        latency_window,
+        events_ctr,
+        batches_ctr,
     } = w;
     let sessions = engines.len();
-    let mut events = 0u64;
-    let mut batches = 0u64;
-    let mut latency = LatencyRecorder::new(latency_window);
+    let mut latency = LogHistogram::new();
+    let mut stages = StageHistograms::new();
     let mut first: Option<Instant> = None;
     let mut last: Option<Instant> = None;
     // `rx.recv()` erroring means the controller hung up without a Shutdown
@@ -207,7 +226,7 @@ pub(crate) fn shard_loop(w: ShardWorker) -> ShardWorkerReport {
         match msg {
             ShardMsg::Batch(batch) => {
                 depth.fetch_sub(1, Ordering::Relaxed);
-                batches += 1;
+                batches_ctr.inc();
                 first.get_or_insert_with(Instant::now);
                 let mut outs: Vec<Vec<ProcessedEvent>> =
                     (0..appliers.len()).map(|_| Vec::new()).collect();
@@ -215,8 +234,15 @@ pub(crate) fn shard_loop(w: ShardWorker) -> ShardWorkerReport {
                     peer,
                     event,
                     ingest,
+                    mut trace,
                 } in batch
                 {
+                    // A traced event closes its queue-wait span at dequeue
+                    // (precise epoch reading, not `Instant::now`), so the
+                    // inference span below starts at the engine call.
+                    if let Some(stamp) = trace.as_mut() {
+                        stages.queue_wait.record(stamp.advance(clock.precise()));
+                    }
                     let result = match engines.get_mut(&peer) {
                         Some(engine) => match engine.process(&event) {
                             (EngineStatus::Accepted, Some(result)) => Some(result),
@@ -227,11 +253,14 @@ pub(crate) fn shard_loop(w: ShardWorker) -> ShardWorkerReport {
                         // single-threaded router's behaviour.
                         None => None,
                     };
+                    if let Some(stamp) = trace.as_mut() {
+                        stages.inference.record(stamp.advance(clock.precise()));
+                    }
                     // The consumer side reads the precise clock: one syscall
                     // per event here is off the ingest hot path, and the
                     // coarse stamp is always ≤ the precise reading.
-                    latency.record(clock.precise().saturating_sub(ingest) / 1_000);
-                    events += 1;
+                    latency.record(clock.precise().saturating_sub(ingest));
+                    events_ctr.inc();
                     // An accepted inference rides with its triggering event,
                     // so it installs on the applier shard owning the
                     // session's prefix range.
@@ -241,6 +270,7 @@ pub(crate) fn shard_loop(w: ShardWorker) -> ShardWorkerReport {
                         event,
                         result,
                         ingest,
+                        trace,
                     });
                 }
                 last = Some(Instant::now());
@@ -301,9 +331,10 @@ pub(crate) fn shard_loop(w: ShardWorker) -> ShardWorkerReport {
     ShardWorkerReport {
         shard,
         sessions: sessions.max(engines.len()),
-        events,
-        batches,
+        events: events_ctr.get(),
+        batches: batches_ctr.get(),
         latency,
+        stages,
         busy: match (first, last) {
             (Some(a), Some(b)) => b.saturating_duration_since(a),
             _ => Duration::ZERO,
@@ -321,8 +352,18 @@ pub(crate) struct ApplierWorker {
     /// Shard workers feeding this applier — the barrier/shutdown quorum.
     pub workers: usize,
     pub clock: Arc<EpochClock>,
-    pub latency_window: usize,
     pub depth: Arc<AtomicUsize>,
+    /// Registry counter `applier.N.events` — live source of truth, read back
+    /// into the exit report.
+    pub events_ctr: Counter,
+    /// Registry counter `applier.N.batches`.
+    pub batches_ctr: Counter,
+    /// Registry counter `applier.N.installs`.
+    pub installs_ctr: Counter,
+    /// Registry counter `applier.N.resyncs`.
+    pub resyncs_ctr: Counter,
+    /// Registry gauge `applier.N.pending.high` (deferred-RIB high water).
+    pub pending_gauge: Gauge,
 }
 
 /// The applier-shard loop: fold every processed event of this shard's prefix
@@ -337,19 +378,19 @@ pub(crate) fn applier_loop(w: ApplierWorker) -> ApplierReport {
         barrier_tx,
         workers,
         clock,
-        latency_window,
         depth,
+        events_ctr,
+        batches_ctr,
+        installs_ctr,
+        resyncs_ctr,
+        pending_gauge,
     } = w;
     let mut done = 0usize;
     let mut barrier_acks: BTreeMap<u64, usize> = BTreeMap::new();
-    let mut reroute_latency = LatencyRecorder::new(latency_window);
-    let mut events = 0u64;
-    let mut batches = 0u64;
-    let mut installs = 0u64;
+    let mut reroute_latency = LogHistogram::new();
+    let mut stages = StageHistograms::new();
     let mut busy = Duration::ZERO;
-    let mut pending_high_water = 0usize;
     let mut pending_folded = 0u64;
-    let mut resyncs = 0u64;
     while done < workers {
         let Ok(msg) = rx.recv() else {
             break;
@@ -358,18 +399,25 @@ pub(crate) fn applier_loop(w: ApplierWorker) -> ApplierReport {
             ApplierMsg::Batch(batch) => {
                 depth.fetch_sub(1, Ordering::Relaxed);
                 let t0 = Instant::now();
-                batches += 1;
-                for processed in batch {
-                    events += 1;
+                batches_ctr.inc();
+                for mut processed in batch {
+                    events_ctr.inc();
+                    // Traced events close their shard → applier queue span at
+                    // dequeue and their install span after the table updates.
+                    if let Some(stamp) = processed.trace.as_mut() {
+                        stages.applier_wait.record(stamp.advance(clock.precise()));
+                    }
                     applier.note_event_owned(processed.peer, processed.event);
                     if let Some(result) = processed.result {
                         let action = applier.apply_inference(processed.peer, &result);
-                        installs += action.rules_installed as u64;
-                        reroute_latency
-                            .record(clock.precise().saturating_sub(processed.ingest) / 1_000);
+                        installs_ctr.add(action.rules_installed as u64);
+                        reroute_latency.record(clock.precise().saturating_sub(processed.ingest));
+                    }
+                    if let Some(stamp) = processed.trace.as_mut() {
+                        stages.install.record(stamp.advance(clock.precise()));
                     }
                 }
-                pending_high_water = pending_high_water.max(applier.pending_events());
+                pending_gauge.record_max(applier.pending_events() as u64);
                 busy += t0.elapsed();
             }
             ApplierMsg::Register { peer, asn, routes } => {
@@ -393,7 +441,7 @@ pub(crate) fn applier_loop(w: ApplierWorker) -> ApplierReport {
             ApplierMsg::Resync(reply) => {
                 let t0 = Instant::now();
                 pending_folded += applier.pending_events() as u64;
-                resyncs += 1;
+                resyncs_ctr.inc();
                 let removed = applier.resync_after_convergence();
                 busy += t0.elapsed();
                 let _ = reply.send(removed);
@@ -405,12 +453,13 @@ pub(crate) fn applier_loop(w: ApplierWorker) -> ApplierReport {
         idx,
         applier,
         reroute_latency,
-        events,
-        batches,
-        installs,
+        stages,
+        events: events_ctr.get(),
+        batches: batches_ctr.get(),
+        installs: installs_ctr.get(),
         busy,
-        pending_high_water,
+        pending_high_water: pending_gauge.get() as usize,
         pending_folded,
-        resyncs,
+        resyncs: resyncs_ctr.get(),
     }
 }

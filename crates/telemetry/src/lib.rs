@@ -1,0 +1,41 @@
+//! swift-telemetry — the observability layer under the SWIFT runtime.
+//!
+//! SWIFT's headline claim is restoring connectivity within ~2 s of a remote
+//! outage; defending that number requires knowing *where* pipeline time goes,
+//! live, without stopping the run. This crate supplies the four pieces the
+//! runtime wires through ingest → shard → applier:
+//!
+//! - [`Registry`] / [`Counter`] / [`Gauge`]: named atomic metrics the
+//!   runtime's throughput counters migrate onto, snapshot-able mid-run.
+//! - [`LogHistogram`]: a mergeable log-linear (HDR-style) histogram with a
+//!   ≤ 1/32 relative-error bound that replaces the evicting sample ring for
+//!   event and reroute latency — cross-shard merges are exact bucket adds.
+//! - [`TraceStamp`] / [`TraceSampler`] / [`StageHistograms`]: sampled 1-in-N
+//!   pipeline tracing attributing reroute latency to queue wait vs inference
+//!   vs install.
+//! - [`JsonObject`] / [`Json`] / [`JsonLinesWriter`] / [`append_trajectory`]:
+//!   hand-rolled (dependency-free) JSON-lines export and the append-only
+//!   `BENCH_*.json` run trajectory, with a parser so CI validates what the
+//!   harnesses emit.
+//! - [`FlightRecorder`] / [`DumpOnPanic`]: a fixed-size ring of recent
+//!   lifecycle events dumped when a soak assertion fires.
+//!
+//! Like `swift-analysis`, the crate has zero dependencies: it sits under the
+//! runtime's hot path and must never drag a build graph (or an
+//! allocator-happy serializer) in with it.
+
+pub mod export;
+pub mod flight;
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use export::{
+    append_trajectory, json_array, json_escape, summary_object, Json, JsonLinesWriter, JsonObject,
+};
+pub use flight::{DumpOnPanic, FlightEvent, FlightKind, FlightRecorder};
+pub use histogram::{
+    bucket_floor, bucket_of, HistogramSummary, LogHistogram, GROUP_BITS, MAX_BUCKETS,
+};
+pub use registry::{Counter, Gauge, Registry};
+pub use trace::{StageHistograms, TraceSampler, TraceStamp};

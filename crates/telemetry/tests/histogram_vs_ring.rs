@@ -1,0 +1,146 @@
+//! Quantifies the cross-shard percentile bias of the ring-buffer
+//! [`LatencyRecorder`](swift_core::LatencyRecorder) against the
+//! [`LogHistogram`] that replaced it as the reported number.
+//!
+//! The ring evicts oldest-first, so once a shard records more samples than
+//! its capacity, the summary percentiles describe only the *recent* window.
+//! On skewed distributions — a latency spike early in the run, or shards with
+//! very different latency profiles — the merged-ring percentile can miss the
+//! tail entirely. The histogram never evicts and merges bucketwise, so it
+//! stays within its `1/2^GROUP_BITS` relative-error bound no matter how the
+//! samples are distributed over time or across shards.
+
+use swift_core::LatencyRecorder;
+use swift_telemetry::{LogHistogram, GROUP_BITS};
+
+/// Exact nearest-rank percentile over the full sample multiset — the ground
+/// truth both recorders are judged against.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Two shards, small rings, and a latency spike confined to the start of
+/// shard A's run — the shape the ring is worst at.
+///
+/// * Shard A: 500 slow samples (8 000–8 499, e.g. a cold start or a resync
+///   storm), then 9 500 fast ones (~40–55).
+/// * Shard B: 10 000 steady samples (~120–151).
+/// * Ring capacity 256 per shard: by the end of the run shard A's window
+///   holds only fast samples — the spike has been fully evicted.
+#[test]
+fn ring_forgets_an_early_spike_the_histogram_keeps() {
+    const RING: usize = 256;
+    let mut ring_a = LatencyRecorder::new(RING);
+    let mut ring_b = LatencyRecorder::new(RING);
+    let mut hist_a = LogHistogram::new();
+    let mut hist_b = LogHistogram::new();
+    let mut all: Vec<u64> = Vec::new();
+
+    for i in 0..10_000u64 {
+        let v = if i < 500 { 8_000 + i } else { 40 + i % 16 };
+        ring_a.record(v);
+        hist_a.record(v);
+        all.push(v);
+    }
+    for i in 0..10_000u64 {
+        let v = 120 + i % 32;
+        ring_b.record(v);
+        hist_b.record(v);
+        all.push(v);
+    }
+
+    // Cross-shard merge, as the runtime does at shutdown.
+    ring_a.merge(&ring_b);
+    hist_a.merge(&hist_b);
+    all.sort_unstable();
+
+    // Lifetime aggregates are exact in both (the ring only approximates
+    // percentiles, never count/max/mean).
+    assert_eq!(ring_a.recorded(), 20_000);
+    assert_eq!(hist_a.count(), 20_000);
+    assert_eq!(ring_a.summary().max, hist_a.max());
+    assert_eq!(hist_a.max(), 8_499);
+
+    let ring = ring_a.summary();
+    for (p, ring_value) in [(50.0, ring.p50), (99.0, ring.p99)] {
+        let exact = exact_percentile(&all, p);
+        let hist = hist_a.percentile(p);
+        // The histogram holds its documented bound: a bucket floor at most
+        // 1/2^GROUP_BITS below the exact nearest-rank value.
+        assert!(hist <= exact, "p{p}: histogram {hist} > exact {exact}");
+        assert!(
+            exact - hist <= (exact >> GROUP_BITS).max(1),
+            "p{p}: histogram {hist} misses exact {exact} by more than 1/32"
+        );
+        // And it is never further from the truth than the merged ring.
+        let hist_err = exact - hist;
+        let ring_err = exact.abs_diff(ring_value);
+        assert!(
+            hist_err <= ring_err,
+            "p{p}: histogram error {hist_err} exceeds ring error {ring_err}"
+        );
+    }
+
+    // Quantify the ring's failure mode. The exact p99 sits in the spike
+    // (rank 19 800 of 20 000 lands among the 500 slow samples), but shard A's
+    // retained window holds only post-spike samples, so the merged ring tops
+    // out near shard B's steady state — an underestimate of more than 50×.
+    let exact_p99 = exact_percentile(&all, 99.0);
+    assert!(exact_p99 >= 8_000, "the spike owns the exact p99");
+    assert!(
+        ring.p99 < exact_p99 / 50,
+        "ring p99 {} should have evicted the spike (exact {exact_p99})",
+        ring.p99
+    );
+    // The histogram reports the spike within its error bound.
+    assert!(hist_a.percentile(99.0) >= 8_000 - (8_000 >> GROUP_BITS));
+}
+
+/// Shards with different *steady* profiles: the merged ring weights every
+/// retained window equally regardless of how many samples fed it, the
+/// histogram weights every sample equally.
+#[test]
+fn histogram_is_exact_under_merge_where_the_ring_reweights() {
+    const RING: usize = 128;
+    // Shard A records 200× more samples than shard B, all of them fast. Both
+    // rings retain 128 samples, so in the merged window shard B's slow
+    // samples make up half the weight despite being 0.5 % of the run.
+    let mut ring_a = LatencyRecorder::new(RING);
+    let mut ring_b = LatencyRecorder::new(RING);
+    let mut hist_a = LogHistogram::new();
+    let mut hist_b = LogHistogram::new();
+    let mut all = Vec::new();
+    for i in 0..200_000u64 {
+        let v = 30 + i % 8;
+        ring_a.record(v);
+        hist_a.record(v);
+        all.push(v);
+    }
+    for i in 0..1_000u64 {
+        let v = 4_000 + i % 64;
+        ring_b.record(v);
+        hist_b.record(v);
+        all.push(v);
+    }
+    ring_a.merge(&ring_b);
+    hist_a.merge(&hist_b);
+    all.sort_unstable();
+
+    // Slow samples are under 1 % of the run, so the exact p99 is still fast
+    // — and below 64, where the histogram is sample-exact.
+    let exact_p99 = exact_percentile(&all, 99.0);
+    assert!(exact_p99 < 64, "the fast shard owns the exact p99");
+    assert_eq!(
+        hist_a.percentile(99.0),
+        exact_p99,
+        "values below 64 are exact in the histogram"
+    );
+    // The merged ring's 50/50 window puts its p99 deep in the slow shard —
+    // an overestimate of more than 100×.
+    assert!(
+        ring_a.summary().p99 >= 4_000,
+        "equal windows hand the ring's p99 to the 0.5 % shard"
+    );
+}

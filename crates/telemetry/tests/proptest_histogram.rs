@@ -1,0 +1,127 @@
+//! Property coverage for [`LogHistogram`] merging and its documented error
+//! bound.
+//!
+//! * Merging is exactly **commutative** and **associative** (a bucketwise
+//!   add), and merging shard histograms equals recording every sample into
+//!   one — the property the runtime's shutdown merge relies on.
+//! * Reported percentiles honour the documented bound against the exact
+//!   nearest-rank percentile `e` of the sample multiset: the histogram
+//!   reports `h` with `h <= e` and `e - h <= max(1, e >> GROUP_BITS)`.
+//!
+//! Samples are drawn log-uniformly (a uniform `u64` right-shifted by a
+//! uniform 0–63 bits), so the cases exercise every octave of the bucket
+//! space, not just the dense low end.
+
+use proptest::prelude::*;
+use swift_telemetry::{LogHistogram, GROUP_BITS};
+
+/// Log-uniform samples: `raw >> shift` sweeps all 64 octaves.
+fn values(pairs: &[(u64, u32)]) -> Vec<u64> {
+    pairs
+        .iter()
+        .map(|&(raw, shift)| raw >> (shift % 64))
+        .collect()
+}
+
+fn histogram(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Structural equality: `Debug` renders the bucket array and the exact
+/// aggregates, so equal strings mean identical histograms.
+fn repr(h: &LogHistogram) -> String {
+    format!("{h:?}")
+}
+
+/// The exact nearest-rank percentile, computed with the same rank formula
+/// the histogram uses, over the sorted sample multiset.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as u64).clamp(1, sorted.len() as u64);
+    sorted[rank as usize - 1]
+}
+
+const GRID: [f64; 9] = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0];
+
+proptest! {
+    /// a ∪ b == b ∪ a, structurally.
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec((any::<u64>(), 0u32..64), 0..120),
+        ys in proptest::collection::vec((any::<u64>(), 0u32..64), 0..120),
+    ) {
+        let (a, b) = (histogram(&values(&xs)), histogram(&values(&ys)));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(repr(&ab), repr(&ba));
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c), structurally.
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec((any::<u64>(), 0u32..64), 0..80),
+        ys in proptest::collection::vec((any::<u64>(), 0u32..64), 0..80),
+        zs in proptest::collection::vec((any::<u64>(), 0u32..64), 0..80),
+    ) {
+        let (a, b, c) = (
+            histogram(&values(&xs)),
+            histogram(&values(&ys)),
+            histogram(&values(&zs)),
+        );
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(repr(&left), repr(&right));
+    }
+
+    /// Merging per-shard histograms is lossless: identical to recording the
+    /// concatenated stream into a single histogram.
+    #[test]
+    fn merge_equals_single_recording(
+        xs in proptest::collection::vec((any::<u64>(), 0u32..64), 0..120),
+        ys in proptest::collection::vec((any::<u64>(), 0u32..64), 0..120),
+    ) {
+        let (va, vb) = (values(&xs), values(&ys));
+        let mut merged = histogram(&va);
+        merged.merge(&histogram(&vb));
+        let mut all = va.clone();
+        all.extend_from_slice(&vb);
+        prop_assert_eq!(repr(&merged), repr(&histogram(&all)));
+    }
+
+    /// Reported percentiles sit at most one bucket width below the exact
+    /// nearest-rank value: `h <= e` and `e - h <= max(1, e >> GROUP_BITS)`,
+    /// at every grid point, on arbitrary (merged) sample sets.
+    #[test]
+    fn percentiles_honour_the_relative_error_bound(
+        xs in proptest::collection::vec((any::<u64>(), 0u32..64), 1..200),
+    ) {
+        let samples = values(&xs);
+        let h = histogram(&samples);
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), sorted.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().expect("non-empty"));
+        for p in GRID {
+            let exact = exact_percentile(&sorted, p);
+            let got = h.percentile(p);
+            prop_assert!(got <= exact, "p{}: reported {} above exact {}", p, got, exact);
+            let slack = (exact >> GROUP_BITS).max(1);
+            prop_assert!(
+                exact - got <= slack,
+                "p{}: reported {} misses exact {} by more than {}",
+                p, got, exact, slack
+            );
+        }
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`core`] — the SWIFT inference algorithm and encoding scheme;
 //! * [`runtime`] — the sharded multi-session runtime driving every peer
 //!   engine concurrently;
-//! * [`dataplane`] — data-plane convergence/downtime model.
+//! * [`dataplane`] — data-plane convergence/downtime model;
+//! * [`telemetry`] — metrics registry, mergeable log-linear histograms,
+//!   sampled pipeline tracing, flight recorder and the JSON-lines exporter.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the experiment harness reproducing every table and figure of the paper.
@@ -23,6 +25,7 @@ pub use swift_bgpsim as bgpsim;
 pub use swift_core as core;
 pub use swift_dataplane as dataplane;
 pub use swift_runtime as runtime;
+pub use swift_telemetry as telemetry;
 pub use swift_topology as topology;
 pub use swift_traces as traces;
 
