@@ -322,10 +322,21 @@ pub fn match_seq(tokens: &[Token], at: usize, pattern: &[&str]) -> bool {
     })
 }
 
+/// The token's text for structural matching: literal tokens (strings and
+/// chars) yield `""` so that delimiter and keyword matching never fires on
+/// literal *content* — `'{'` and `"}"` are data, not structure.
+pub fn structural(t: &Token) -> &str {
+    match t.kind {
+        TokenKind::Str | TokenKind::Char => "",
+        _ => &t.text,
+    }
+}
+
 /// Index of the matching close delimiter for the open delimiter at `open`
-/// (`(`/`)`, `{`/`}`, `[`/`]`), or `tokens.len()` if unbalanced.
+/// (`(`/`)`, `{`/`}`, `[`/`]`), or `tokens.len()` if `open` is not a punct
+/// open delimiter or the stream is unbalanced from it.
 pub fn matching_close(tokens: &[Token], open: usize) -> usize {
-    let (o, c) = match tokens[open].text.as_str() {
+    let (o, c) = match structural(&tokens[open]) {
         "(" => ("(", ")"),
         "{" => ("{", "}"),
         "[" => ("[", "]"),
@@ -337,7 +348,13 @@ pub fn matching_close(tokens: &[Token], open: usize) -> usize {
             if t.text == o {
                 depth += 1;
             } else if t.text == c {
-                depth -= 1;
+                // A close with nothing open means `open` was not a punct
+                // delimiter (or the slice is torn): report unbalanced
+                // rather than underflowing.
+                let Some(d) = depth.checked_sub(1) else {
+                    return tokens.len();
+                };
+                depth = d;
                 if depth == 0 {
                     return k;
                 }

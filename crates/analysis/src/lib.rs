@@ -6,23 +6,38 @@
 //! messages are never shed", "no per-event `Instant::now()`", "data paths
 //! are bounded", "barriers complete in order").
 //!
-//! Three layers:
+//! The layers:
 //!
 //! 1. [`lexer`] — a token-level Rust lexer (comment/string/raw-string aware,
 //!    line-mapped) shared by every rule;
-//! 2. [`rules`] — the lint engine: repo-specific rules with rustc-style
+//! 2. [`parser`] — an item/fn-granularity AST over the token stream (enums,
+//!    atomic fields, fn bodies as statement/call trees, match arms) for the
+//!    semantic checks;
+//! 3. [`rules`] — the lint engine: repo-specific rules with rustc-style
 //!    findings and `// swift-lint: allow(<rule>) -- <reason>` pragmas;
-//! 3. [`topology`] — a concurrency-topology extractor that parses the
+//! 4. [`topology`] — a concurrency-topology extractor that parses the
 //!    runtime's channel construction into a thread/channel graph, emits DOT
 //!    and JSON, and statically checks deadlock-freedom-shaped properties
-//!    (no cycle of blocking sends, lock-order acyclicity).
+//!    (no cycle of blocking sends, lock-order acyclicity);
+//! 5. [`protocol`] — a message-protocol verifier that checks every
+//!    `ShardMsg`/`ApplierMsg` send/recv site against the declared automaton
+//!    in `crates/analysis/protocol/runtime.protocol` and emits it as
+//!    `protocol.{dot,json}`;
+//! 6. [`atomics`] — an atomic-ordering auditor that classifies every atomic
+//!    op into a role (flag/watermark/gauge/counter/statistic) and enforces
+//!    the ordering rule the role implies;
+//! 7. [`sarif`] — SARIF 2.1.0 export so CI annotates findings inline.
 //!
 //! Run it with `cargo run -p swift-analysis --release -- check` (add
-//! `--json` for a CI artifact). No external dependencies: the build
-//! environment is offline.
+//! `--json`/`--sarif` for CI artifacts). No external dependencies: the
+//! build environment is offline.
 
+pub mod atomics;
 pub mod lexer;
+pub mod parser;
+pub mod protocol;
 pub mod rules;
+pub mod sarif;
 pub mod topology;
 
 use lexer::{lex, matching_close, Comment, Lexed, Token, TokenKind};

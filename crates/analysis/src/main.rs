@@ -1,22 +1,29 @@
-//! The `swift-analysis` CLI: `check` runs the workspace lint and the
-//! concurrency-topology checker, prints rustc-style findings, writes the
-//! topology artifacts (DOT + JSON) and exits nonzero on any finding so CI
-//! can gate on it. `rules` lists the rule keys for pragma authors.
+//! The `swift-analysis` CLI: `check` runs the workspace lint, the
+//! concurrency-topology checker, the message-protocol verifier and the
+//! atomic-ordering auditor, prints rustc-style findings, writes the
+//! artifacts (topology + protocol DOT/JSON, atomics classification, SARIF)
+//! and exits nonzero on any finding so CI can gate on it. `rules` lists the
+//! rule keys for pragma authors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use swift_analysis::{find_workspace_root, json_escape, rules, topology, Finding, Workspace};
+use std::time::Instant;
+use swift_analysis::{
+    atomics, find_workspace_root, json_escape, protocol, rules, sarif, topology, Finding, Workspace,
+};
 
 const USAGE: &str = "usage: swift-analysis <command> [options]
 
 commands:
-  check      run the workspace lint + topology checks
+  check      run the workspace lint + topology + protocol + atomics checks
   rules      list the lint rule keys accepted by `swift-lint: allow(...)`
 
 options (check):
   --json             print findings as a JSON array on stdout
+  --sarif            also write findings.sarif (SARIF 2.1.0) to the out-dir
   --root <dir>       workspace root (default: walk up from the cwd)
   --out-dir <dir>    artifact directory (default: <root>/target/analysis)
+  --budget-ms <n>    fail (rule `budget`) if the whole check takes longer
 ";
 
 fn main() -> ExitCode {
@@ -39,20 +46,25 @@ fn main() -> ExitCode {
 /// Parsed `check` options.
 struct Opts {
     json: bool,
+    sarif: bool,
     root: Option<PathBuf>,
     out_dir: Option<PathBuf>,
+    budget_ms: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         json: false,
+        sarif: false,
         root: None,
         out_dir: None,
+        budget_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
             "--root" => {
                 opts.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
             }
@@ -61,6 +73,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     it.next().ok_or("--out-dir needs a directory")?,
                 ));
             }
+            "--budget-ms" => {
+                let v = it.next().ok_or("--budget-ms needs a number")?;
+                opts.budget_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--budget-ms: `{v}` is not a number"))?,
+                );
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -68,6 +87,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn check(args: &[String]) -> ExitCode {
+    let started = Instant::now();
     let opts = match parse_opts(args) {
         Ok(o) => o,
         Err(e) => {
@@ -98,13 +118,13 @@ fn check(args: &[String]) -> ExitCode {
         }
     };
 
-    // Layer 2: the lint rules.
+    // Layer: the lint rules.
     let mut findings: Vec<Finding> = Vec::new();
     for file in &ws.files {
         findings.extend(rules::check_file(file));
     }
 
-    // Layer 3: the topology checks.
+    // Layer: the topology checks.
     let report = topology::check(&ws);
     findings.extend(report.findings.iter().cloned());
     if let Some(cycle) = &report.blocking_cycle {
@@ -132,13 +152,45 @@ fn check(args: &[String]) -> ExitCode {
             ),
         });
     }
+
+    // Layer: the protocol verifier.
+    let proto = protocol::check(&ws);
+    findings.extend(proto.findings.iter().cloned());
+
+    // Layer: the atomic-ordering auditor.
+    let atomics_report = atomics::check(&ws);
+    findings.extend(atomics_report.findings.iter().cloned());
+
+    // The analyzer's own runtime budget (CI keeps the full check < 10 s so
+    // the lint can't rot into the slow path).
+    if let Some(budget) = opts.budget_ms {
+        let took = started.elapsed().as_millis() as u64;
+        if took > budget {
+            findings.push(Finding {
+                rule: rules::RULE_BUDGET,
+                path: "workspace".into(),
+                line: 0,
+                message: format!(
+                    "swift-analysis took {took} ms against a --budget-ms of {budget} — \
+                     the analyzer must stay out of CI's slow path"
+                ),
+            });
+        }
+    }
     findings.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
 
     // Artifacts.
     let out_dir = opts
         .out_dir
         .unwrap_or_else(|| root.join("target").join("analysis"));
-    if let Err(e) = write_artifacts(&out_dir, &report, &findings) {
+    if let Err(e) = write_artifacts(
+        &out_dir,
+        &report,
+        &proto,
+        &atomics_report,
+        &findings,
+        opts.sarif,
+    ) {
         eprintln!(
             "swift-analysis: failed to write artifacts under {}: {e}",
             out_dir.display()
@@ -161,9 +213,12 @@ fn check(args: &[String]) -> ExitCode {
             }
             seen
         };
+        let proto_msgs: usize = proto.automaton.iter().map(|c| c.transitions.len()).sum();
         eprintln!(
             "swift-analysis: {} file(s), {} finding(s); topology: {} thread class(es) [{}], \
-             {} channel(s), blocking-send graph {}, lock graph {} ({} edge(s)); artifacts in {}",
+             {} channel(s), blocking-send graph {}, lock graph {} ({} edge(s)); protocol: \
+             {} channel(s), {} message(s), {} send site(s); atomics: {} site(s) in {} \
+             group(s); artifacts in {} ({} ms)",
             ws.files.len(),
             findings.len(),
             nodes.len(),
@@ -180,7 +235,13 @@ fn check(args: &[String]) -> ExitCode {
                 "CYCLIC"
             },
             report.topology.lock_edges.len(),
+            proto.automaton.len(),
+            proto_msgs,
+            proto.sends.len(),
+            atomics_report.sites.len(),
+            atomics_report.groups.len(),
             out_dir.display(),
+            started.elapsed().as_millis(),
         );
     }
     if findings.is_empty() {
@@ -190,16 +251,26 @@ fn check(args: &[String]) -> ExitCode {
     }
 }
 
-/// Writes `topology.dot`, `topology.json` and `findings.json` under `dir`.
+/// Writes `topology.{dot,json}`, `protocol.{dot,json}`, `atomics.json`,
+/// `findings.json` and (with `--sarif`) `findings.sarif` under `dir`.
 fn write_artifacts(
     dir: &PathBuf,
     report: &topology::TopologyReport,
+    proto: &protocol::ProtocolReport,
+    atomics_report: &atomics::AtomicsReport,
     findings: &[Finding],
+    emit_sarif: bool,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     std::fs::write(dir.join("topology.dot"), topology::to_dot(&report.topology))?;
     std::fs::write(dir.join("topology.json"), topology::to_json(report))?;
+    std::fs::write(dir.join("protocol.dot"), protocol::to_dot(proto))?;
+    std::fs::write(dir.join("protocol.json"), protocol::to_json(proto))?;
+    std::fs::write(dir.join("atomics.json"), atomics::to_json(atomics_report))?;
     std::fs::write(dir.join("findings.json"), findings_json(findings))?;
+    if emit_sarif {
+        std::fs::write(dir.join("findings.sarif"), sarif::to_sarif(findings))?;
+    }
     Ok(())
 }
 

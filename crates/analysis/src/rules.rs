@@ -20,6 +20,10 @@
 //! | `lifecycle-send` | lifecycle/barrier messages are never shed: no `try_send` of `Register`/`Teardown`/`Barrier`/`Resync`/`Shutdown`/`ShardDone` |
 //! | `bare-applier` | bench/harness code branches on `try_applier()` instead of the K≥2-panicking `RuntimeReport::applier()` |
 //! | `pragma` | every `swift-lint` pragma is well-formed, names a known rule and carries a reason |
+//! | `protocol` | the `ShardMsg`/`ApplierMsg` traffic matches the declared automaton: broadcasts loop over the fan-out collection, nothing follows a terminal message, acks/replies are exactly-once, quorums are gated (see [`crate::protocol`]) |
+//! | `protocol-wildcard` | no `_` arm on a protocol enum match — new variants must not be silently droppable (see [`crate::protocol`]) |
+//! | `atomic-ordering` | every atomic op classifies into a role and handshake flags are Release/Acquire-paired, channel-edge-proven or pragma'd (see [`crate::atomics`]) |
+//! | `budget` | the analyzer itself finished inside `--budget-ms` (CI keeps the full check under 10 s) |
 
 use crate::lexer::{match_seq, matching_close, TokenKind};
 use crate::{Finding, SourceFile};
@@ -38,6 +42,19 @@ pub const RULE_LIFECYCLE_SEND: &str = "lifecycle-send";
 pub const RULE_BARE_APPLIER: &str = "bare-applier";
 /// Rule key: malformed or unknown pragma.
 pub const RULE_PRAGMA: &str = "pragma";
+/// Rule key: message-protocol violation against the declared automaton
+/// (spec drift, missed broadcast, data send after a terminal message,
+/// ack/reply/quorum breakage). Checked by [`crate::protocol`].
+pub const RULE_PROTOCOL: &str = "protocol";
+/// Rule key: wildcard `_` match arm on a protocol enum. Checked by
+/// [`crate::protocol`].
+pub const RULE_PROTOCOL_WILDCARD: &str = "protocol-wildcard";
+/// Rule key: atomic-ordering violation (a handshake flag without
+/// Release/Acquire pairing, a channel-edge proof, or a pragma; or an
+/// unclassifiable op mix). Checked by [`crate::atomics`].
+pub const RULE_ATOMIC_ORDERING: &str = "atomic-ordering";
+/// Rule key: the analyzer's own runtime exceeded the `--budget-ms` cap.
+pub const RULE_BUDGET: &str = "budget";
 
 /// Every rule key the pragma checker accepts in `allow(...)`.
 pub const KNOWN_RULES: &[&str] = &[
@@ -47,6 +64,9 @@ pub const KNOWN_RULES: &[&str] = &[
     RULE_THREAD_SPAWN,
     RULE_LIFECYCLE_SEND,
     RULE_BARE_APPLIER,
+    RULE_PROTOCOL,
+    RULE_PROTOCOL_WILDCARD,
+    RULE_ATOMIC_ORDERING,
 ];
 
 /// The hot-path files `instant-now` polices.

@@ -1,0 +1,82 @@
+//! SARIF 2.1.0 export for the findings, so CI can annotate PRs inline.
+//!
+//! Emits the minimal valid shape: one `run` with a `tool.driver` that
+//! declares every fired rule, and one `result` per finding with a
+//! `physicalLocation` (`startLine` clamped to 1 — SARIF regions are
+//! 1-based, and spec-level findings carry line 0). Hand-rolled like every
+//! other emitter in this crate: the build environment is offline, so no
+//! serde.
+
+use crate::{json_escape, Finding};
+use std::collections::BTreeSet;
+
+/// The `$schema` URI stamped into the log (the canonical 2.1.0 schema).
+pub const SCHEMA_URI: &str =
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json";
+
+/// Renders `findings` as a SARIF 2.1.0 log.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"$schema\": \"{SCHEMA_URI}\",\n"));
+    out.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"swift-analysis\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/swift-analysis\",\n");
+    out.push_str("          \"rules\": [");
+    let mut first = true;
+    for rule in &rules {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            json_escape(rule),
+            json_escape(rule)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    first = true;
+    for f in findings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}",
+            json_escape(f.rule),
+            json_escape(&f.message),
+            json_escape(&f.path),
+            f.line.max(1)
+        ));
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_findings_still_form_a_run() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn line_zero_findings_clamp_to_one() {
+        let s = to_sarif(&[Finding {
+            rule: "protocol",
+            path: "crates/analysis/protocol/runtime.protocol".into(),
+            line: 0,
+            message: "spec drift".into(),
+        }]);
+        assert!(s.contains("\"startLine\": 1"), "{s}");
+    }
+}

@@ -203,11 +203,12 @@ pub fn finish(topo: Topology) -> TopologyReport {
     }
 }
 
-/// Extracts the thread/channel graph from `files` (the runtime crate's
-/// sources, or a fixture emulating their idioms).
-pub fn extract(files: &[&SourceFile]) -> Topology {
-    let mut topo = Topology::default();
-
+/// Maps function names to the thread node they run on (passes 1–2 of
+/// extraction): spawn sites name nodes via `.name(...)`, and unmapped
+/// helpers called from exactly one mapped function in the same file adopt
+/// that node. Public so the atomic-ordering auditor can attribute atomic
+/// sites to threads when proving a channel-edge synchronization.
+pub fn node_map(files: &[&SourceFile]) -> (BTreeMap<String, String>, Vec<NodeInfo>) {
     // All function names defined anywhere in the given files — used to tell
     // a spawned body function from ordinary calls inside the spawn closure.
     let defined: BTreeSet<&str> = files
@@ -216,6 +217,7 @@ pub fn extract(files: &[&SourceFile]) -> Topology {
         .collect();
 
     // Pass 1: spawn sites → named nodes + body-fn mapping.
+    let mut nodes = Vec::new();
     let mut fn_node: BTreeMap<String, String> = BTreeMap::new();
     for f in files {
         for i in 0..f.tokens.len() {
@@ -240,7 +242,7 @@ pub fn extract(files: &[&SourceFile]) -> Topology {
             let name = spawn_thread_name(&f.tokens, i).unwrap_or_else(|| body.clone());
             let many = spawn_in_loop(f, i);
             fn_node.insert(body.clone(), name.clone());
-            topo.nodes.push(NodeInfo {
+            nodes.push(NodeInfo {
                 name,
                 many,
                 body_fn: body,
@@ -294,6 +296,15 @@ pub fn extract(files: &[&SourceFile]) -> Topology {
             fn_node.insert(f, n);
         }
     }
+    (fn_node, nodes)
+}
+
+/// Extracts the thread/channel graph from `files` (the runtime crate's
+/// sources, or a fixture emulating their idioms).
+pub fn extract(files: &[&SourceFile]) -> Topology {
+    let mut topo = Topology::default();
+    let (fn_node, nodes) = node_map(files);
+    topo.nodes = nodes;
 
     // Pass 3: channel constructions.
     for f in files {
@@ -403,7 +414,7 @@ fn implicit_nodes(topo: &Topology) -> Vec<NodeInfo> {
 /// The node a site at `line` in `f` belongs to: its enclosing function's
 /// mapped node, else `producer` for the ingest module, else the
 /// coordinator (the runtime's caller-thread method surface).
-fn node_of(f: &SourceFile, line: u32, fn_node: &BTreeMap<String, String>) -> String {
+pub fn node_of(f: &SourceFile, line: u32, fn_node: &BTreeMap<String, String>) -> String {
     if let Some(span) = f.enclosing_fn(line) {
         if let Some(node) = fn_node.get(&span.name) {
             return node.clone();

@@ -8,7 +8,33 @@
 //! that puts it in the right rule scope.
 
 use std::path::{Path, PathBuf};
-use swift_analysis::{rules, topology, Finding, SourceFile, Workspace};
+use swift_analysis::{atomics, protocol, rules, sarif, topology, Finding, SourceFile, Workspace};
+
+/// The mini ShardMsg spec the protocol violation fixtures are checked
+/// against (the real spec needs the full two-channel mirror in
+/// `protocol_ok.rs`).
+const MINI_SPEC: &str = "\
+channel ShardMsg
+state Running initial
+state Stopped final
+msg Batch kind=data Running -> Running
+msg Barrier kind=lifecycle broadcast=shard_txs Running -> Running
+msg Shutdown kind=lifecycle broadcast=shard_txs terminal Running -> Stopped
+";
+
+/// Runs the protocol verifier over a fixture (as runtime source) against
+/// the mini spec.
+fn protocol_check(name: &str) -> protocol::ProtocolReport {
+    let spec = protocol::parse_spec(MINI_SPEC).expect("mini spec parses");
+    let f = SourceFile::parse("crates/runtime/src/worker.rs", &fixture(name));
+    protocol::check_files(&spec, &[&f])
+}
+
+/// Runs the atomics auditor over a fixture (as runtime source).
+fn atomics_check(name: &str) -> atomics::AtomicsReport {
+    let f = SourceFile::parse("crates/runtime/src/lib.rs", &fixture(name));
+    atomics::check_files(&[&f])
+}
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -180,6 +206,172 @@ fn topology_detects_a_lock_order_cycle() {
     );
 }
 
+#[test]
+fn protocol_full_mirror_is_clean_against_the_real_spec() {
+    let spec_text = fixture("../../protocol/runtime.protocol");
+    let spec = protocol::parse_spec(&spec_text).expect("real spec parses");
+    let f = SourceFile::parse("crates/runtime/src/worker.rs", &fixture("protocol_ok.rs"));
+    let report = protocol::check_files(&spec, &[&f]);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert_eq!(report.automaton.len(), 2);
+    for chan in &report.automaton {
+        for t in &chan.transitions {
+            assert!(
+                t.sends >= 1 && t.recv_arms >= 1,
+                "{}::{} unobserved in the mirror fixture",
+                chan.name,
+                t.msg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn protocol_missed_broadcast_is_flagged() {
+    let report = protocol_check("protocol_missed_broadcast.rs");
+    assert_eq!(
+        count(&report.findings, "protocol"),
+        1,
+        "{:#?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("broadcast loop"));
+    assert!(report.findings[0].message.contains("Barrier"));
+}
+
+#[test]
+fn protocol_post_shutdown_send_is_flagged() {
+    let report = protocol_check("protocol_post_shutdown.rs");
+    assert_eq!(
+        count(&report.findings, "protocol"),
+        1,
+        "{:#?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("terminal"));
+    assert!(report.findings[0].message.contains("Batch"));
+}
+
+#[test]
+fn protocol_wildcard_arm_is_flagged() {
+    let report = protocol_check("protocol_wildcard_arm.rs");
+    assert_eq!(
+        count(&report.findings, "protocol-wildcard"),
+        1,
+        "{:#?}",
+        report.findings
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "protocol" && f.message.contains("no arm for `ShardMsg::Barrier`")),
+        "the uncovered variant is reported too: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn atomics_relaxed_flag_pair_is_flagged_on_both_sides() {
+    let report = atomics_check("atomics_flag_relaxed.rs");
+    let g = report.group("shutdown").expect("flag grouped");
+    assert_eq!((g.role, g.verdict), ("flag", "unsound"));
+    assert_eq!(
+        count(&report.findings, "atomic-ordering"),
+        2,
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn atomics_unpaired_release_store_flags_only_the_relaxed_load() {
+    let report = atomics_check("atomics_unpaired.rs");
+    let g = report.group("epoch").expect("flag grouped");
+    assert_eq!((g.role, g.verdict), ("flag", "unsound"));
+    assert_eq!(
+        count(&report.findings, "atomic-ordering"),
+        1,
+        "{:#?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("Acquire"));
+}
+
+/// The SARIF export parses as JSON and carries the 2.1.0 schema shape:
+/// version, one run with a named driver declaring the fired rules, and one
+/// result per finding with a physical location whose startLine is 1-based.
+#[test]
+fn sarif_export_has_the_2_1_0_shape() {
+    use swift_telemetry::export::Json;
+    let findings = vec![
+        Finding {
+            rule: "protocol",
+            path: "crates/analysis/protocol/runtime.protocol".into(),
+            line: 0,
+            message: "spec drift with a \"quoted\" detail".into(),
+        },
+        Finding {
+            rule: "atomic-ordering",
+            path: "crates/runtime/src/lib.rs".into(),
+            line: 896,
+            message: "flag pair".into(),
+        },
+    ];
+    let log = Json::parse(&sarif::to_sarif(&findings)).expect("SARIF is valid JSON");
+    assert_eq!(log.get("version").and_then(Json::as_str), Some("2.1.0"));
+    assert!(log
+        .get("$schema")
+        .and_then(Json::as_str)
+        .is_some_and(|s| s.contains("sarif-schema-2.1.0")));
+    let runs = log
+        .get("runs")
+        .and_then(Json::as_array)
+        .expect("runs array");
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(Json::as_str),
+        Some("swift-analysis")
+    );
+    let rule_ids: Vec<&str> = driver
+        .get("rules")
+        .and_then(Json::as_array)
+        .expect("driver.rules")
+        .iter()
+        .filter_map(|r| r.get("id").and_then(Json::as_str))
+        .collect();
+    assert!(rule_ids.contains(&"protocol") && rule_ids.contains(&"atomic-ordering"));
+    let results = runs[0]
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results array");
+    assert_eq!(results.len(), 2);
+    for r in results {
+        assert!(r.get("ruleId").and_then(Json::as_str).is_some());
+        assert!(r
+            .get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Json::as_str)
+            .is_some());
+        let region = r
+            .get("locations")
+            .and_then(Json::as_array)
+            .and_then(|l| l.first())
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .expect("physicalLocation.region");
+        let start = region
+            .get("startLine")
+            .and_then(Json::as_u64)
+            .expect("startLine");
+        assert!(start >= 1, "SARIF regions are 1-based, got {start}");
+    }
+}
+
 /// End-to-end exit codes through the real binary: 0 on the clean workspace,
 /// 1 on a synthetic workspace with a violation, 2 on usage errors.
 #[test]
@@ -192,7 +384,7 @@ fn cli_exit_codes_gate_correctly() {
     let scratch = std::env::temp_dir().join(format!("swift-analysis-test-{}", std::process::id()));
 
     let clean = std::process::Command::new(bin)
-        .args(["check", "--root"])
+        .args(["check", "--sarif", "--budget-ms", "10000", "--root"])
         .arg(&root)
         .arg("--out-dir")
         .arg(scratch.join("artifacts"))
@@ -204,9 +396,33 @@ fn cli_exit_codes_gate_correctly() {
         "{}",
         String::from_utf8_lossy(&clean.stderr)
     );
-    assert!(scratch.join("artifacts/topology.dot").is_file());
-    assert!(scratch.join("artifacts/topology.json").is_file());
-    assert!(scratch.join("artifacts/findings.json").is_file());
+    for artifact in [
+        "topology.dot",
+        "topology.json",
+        "protocol.dot",
+        "protocol.json",
+        "atomics.json",
+        "findings.json",
+        "findings.sarif",
+    ] {
+        assert!(
+            scratch.join("artifacts").join(artifact).is_file(),
+            "missing artifact {artifact}"
+        );
+    }
+
+    // An impossible budget turns the otherwise-clean run into exit 1 with a
+    // `budget` finding on the JSON stream.
+    let over_budget = std::process::Command::new(bin)
+        .args(["check", "--json", "--budget-ms", "0", "--root"])
+        .arg(&root)
+        .arg("--out-dir")
+        .arg(scratch.join("budget-artifacts"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(over_budget.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&over_budget.stdout);
+    assert!(json.contains("\"rule\": \"budget\""), "{json}");
 
     // A synthetic workspace with one violation must exit 1 and report it on
     // the JSON stream.
@@ -319,4 +535,55 @@ fn workspace_is_clean_and_topology_matches_the_design() {
     for expected in ["producer", "swift-shard", "swift-applier", "coordinator"] {
         assert!(dot.contains(expected), "DOT missing {expected}:\n{dot}");
     }
+
+    // Layer 2: the runtime's message protocol matches the declared spec
+    // exactly — every transition is both sent and handled somewhere.
+    let proto = protocol::check(&ws);
+    assert!(proto.findings.is_empty(), "{:#?}", proto.findings);
+    assert_eq!(
+        proto.automaton.len(),
+        2,
+        "ShardMsg and ApplierMsg: {:?}",
+        proto.automaton.iter().map(|c| &c.name).collect::<Vec<_>>()
+    );
+    for (chan, msgs) in [("ShardMsg", 5), ("ApplierMsg", 6)] {
+        let c = proto
+            .automaton
+            .iter()
+            .find(|c| c.name == chan)
+            .unwrap_or_else(|| panic!("channel {chan} missing from the automaton"));
+        assert_eq!(c.transitions.len(), msgs, "{chan} transition count");
+        for t in &c.transitions {
+            assert!(
+                t.sends >= 1 && t.recv_arms >= 1,
+                "{chan}::{} declared but never observed (sends={}, recv_arms={}) — \
+                 the automaton must be non-vacuous",
+                t.msg.name,
+                t.sends,
+                t.recv_arms
+            );
+        }
+    }
+
+    // Layer 3: every atomic site classifies into a role and every flag
+    // group proves its synchronization; the shutdown handshake pair in
+    // particular is Release/Acquire-paired.
+    let atoms = atomics::check(&ws);
+    assert!(atoms.findings.is_empty(), "{:#?}", atoms.findings);
+    assert!(
+        atoms.sites.len() >= 15,
+        "sanity: the audit actually covered the runtime ({} sites)",
+        atoms.sites.len()
+    );
+    assert!(
+        atoms.groups.iter().all(|g| g.role != "unclassified"),
+        "{:#?}",
+        atoms.groups
+    );
+    let shutdown = atoms.group("shutdown").expect("shutdown flag audited");
+    assert_eq!(
+        (shutdown.role, shutdown.verdict),
+        ("flag", "release-acquire"),
+        "the shutdown handshake must stay Release/Acquire-paired"
+    );
 }

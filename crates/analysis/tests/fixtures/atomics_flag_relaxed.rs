@@ -1,0 +1,18 @@
+//! Fixture: a handshake flag (`AtomicBool`, store+load across functions)
+//! kept fully `Relaxed` with no channel edge between the threads and no
+//! pragma — the mis-roled-Relaxed case. The auditor must classify the
+//! group as `flag`, give it the `unsound` verdict and flag both sites.
+
+struct Shared {
+    shutdown: AtomicBool,
+}
+
+fn publisher(s: &Shared) {
+    // VIOLATION: the write side of a flag must be Release.
+    s.shutdown.store(true, Ordering::Relaxed);
+}
+
+fn observer(s: &Shared) -> bool {
+    // VIOLATION: the read side of a flag must be Acquire.
+    s.shutdown.load(Ordering::Relaxed)
+}

@@ -1,0 +1,17 @@
+//! Fixture: a store/load pair classified as a flag (non-bool, but written
+//! on one side and read on the other) where the store was upgraded to
+//! `Release` but the load stayed `Relaxed` — the unpaired half. The
+//! auditor must flag exactly the load.
+
+struct Shared {
+    epoch: AtomicU32,
+}
+
+fn publisher(s: &Shared) {
+    s.epoch.store(7, Ordering::Release);
+}
+
+fn observer(s: &Shared) -> u32 {
+    // VIOLATION: a Release store publishes nothing to a Relaxed load.
+    s.epoch.load(Ordering::Relaxed)
+}

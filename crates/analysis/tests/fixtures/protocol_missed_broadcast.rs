@@ -1,0 +1,35 @@
+//! Fixture: `Barrier` is declared `broadcast=shard_txs`, but `flush` sends
+//! it to `shard_txs[0]` only — the other shards never hear the barrier and
+//! the ack quorum silently hangs. Checked against the mini ShardMsg spec in
+//! the test; exactly one missed-broadcast finding must fire.
+
+enum ShardMsg {
+    Batch(u64),
+    Barrier(u64),
+    Shutdown,
+}
+
+fn feed(shard_txs: &[SyncSender<ShardMsg>], b: u64) {
+    shard_txs[0].send(ShardMsg::Batch(b)).expect("batch");
+}
+
+fn flush(shard_txs: &[SyncSender<ShardMsg>], seq: u64) {
+    // VIOLATION: only the first shard hears the barrier.
+    shard_txs[0].send(ShardMsg::Barrier(seq)).expect("barrier");
+}
+
+fn stop(shard_txs: &[SyncSender<ShardMsg>]) {
+    for tx in shard_txs.iter() {
+        let _ = tx.send(ShardMsg::Shutdown);
+    }
+}
+
+fn shard_loop(rx: Receiver<ShardMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(b) => apply(b),
+            ShardMsg::Barrier(seq) => ack(seq),
+            ShardMsg::Shutdown => break,
+        }
+    }
+}

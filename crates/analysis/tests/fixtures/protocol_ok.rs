@@ -1,0 +1,125 @@
+//! Fixture: a condensed runtime whose `ShardMsg`/`ApplierMsg` traffic
+//! matches `crates/analysis/protocol/runtime.protocol` exactly — every
+//! message sent, every broadcast looped over its fan-out collection, the
+//! barrier acked exactly once behind the worker quorum, the resync replied
+//! exactly once, both matches exhaustive. The protocol verifier must report
+//! zero findings here.
+
+enum ShardMsg {
+    Batch(u64),
+    Register(u32),
+    Teardown(u32),
+    Barrier(u64),
+    Shutdown,
+}
+
+enum ApplierMsg {
+    Batch(u64),
+    Register { peer: u32 },
+    Teardown(u32),
+    Barrier(u64),
+    Resync(Sender<usize>),
+    ShardDone,
+}
+
+struct Link {
+    tx: SyncSender<ApplierMsg>,
+}
+
+fn dispatch(shard_txs: &[SyncSender<ShardMsg>], b: u64, peer: u32) {
+    shard_txs[0].send(ShardMsg::Batch(b)).expect("batch");
+    shard_txs[0].send(ShardMsg::Register(peer)).expect("register");
+    shard_txs[0].send(ShardMsg::Teardown(peer)).expect("teardown");
+}
+
+fn flush(shard_txs: &[SyncSender<ShardMsg>], seq: u64) {
+    for tx in shard_txs.iter() {
+        tx.send(ShardMsg::Barrier(seq)).expect("barrier broadcast");
+    }
+}
+
+fn resync(applier_txs: &[Sender<ApplierMsg>]) -> usize {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    for tx in applier_txs.iter() {
+        tx.send(ApplierMsg::Resync(reply_tx.clone())).expect("resync broadcast");
+    }
+    drop(reply_tx);
+    let mut removed = 0usize;
+    while let Ok(n) = reply_rx.recv() {
+        removed += n;
+    }
+    removed
+}
+
+fn stop(shard_txs: &[SyncSender<ShardMsg>]) {
+    for tx in shard_txs.iter() {
+        let _ = tx.send(ShardMsg::Shutdown);
+    }
+}
+
+fn shard_loop(rx: Receiver<ShardMsg>, appliers: Vec<Link>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(b) => {
+                for link in appliers.iter() {
+                    link.tx.send(ApplierMsg::Batch(b)).expect("applier batch");
+                }
+            }
+            ShardMsg::Register(peer) => {
+                for link in appliers.iter() {
+                    link.tx.send(ApplierMsg::Register { peer }).expect("applier register");
+                }
+            }
+            ShardMsg::Teardown(peer) => {
+                for link in appliers.iter() {
+                    link.tx.send(ApplierMsg::Teardown(peer)).expect("applier teardown");
+                }
+            }
+            ShardMsg::Barrier(seq) => {
+                for link in appliers.iter() {
+                    link.tx.send(ApplierMsg::Barrier(seq)).expect("applier barrier");
+                }
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+    for link in appliers.iter() {
+        let _ = link.tx.send(ApplierMsg::ShardDone);
+    }
+}
+
+fn applier_loop(
+    rx: Receiver<ApplierMsg>,
+    barrier_tx: Sender<(usize, u64)>,
+    idx: usize,
+    workers: usize,
+) {
+    let mut done = 0usize;
+    let mut acks = 0usize;
+    let mut removed = 0usize;
+    while done < workers {
+        let msg = rx.recv().expect("applier channel live while workers remain");
+        match msg {
+            ApplierMsg::Batch(b) => {
+                apply(b);
+            }
+            ApplierMsg::Register { peer } => {
+                removed += register(peer);
+            }
+            ApplierMsg::Teardown(peer) => {
+                teardown(peer);
+            }
+            ApplierMsg::Barrier(seq) => {
+                acks += 1;
+                if acks == workers {
+                    acks = 0;
+                    let _ = barrier_tx.send((idx, seq));
+                }
+            }
+            ApplierMsg::Resync(reply) => {
+                let _ = reply.send(removed);
+            }
+            ApplierMsg::ShardDone => done += 1,
+        }
+    }
+}

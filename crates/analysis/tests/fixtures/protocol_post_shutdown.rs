@@ -1,0 +1,39 @@
+//! Fixture: `Shutdown` is terminal, but `stop` pushes one more data batch
+//! after broadcasting it — the receiver is past its final state and the
+//! send either errors or is silently dropped. Checked against the mini
+//! ShardMsg spec in the test; exactly one terminal-ordering finding must
+//! fire (on the late `Batch`, not on the `Shutdown`).
+
+enum ShardMsg {
+    Batch(u64),
+    Barrier(u64),
+    Shutdown,
+}
+
+fn feed(shard_txs: &[SyncSender<ShardMsg>], b: u64) {
+    shard_txs[0].send(ShardMsg::Batch(b)).expect("batch");
+}
+
+fn flush(shard_txs: &[SyncSender<ShardMsg>], seq: u64) {
+    for tx in shard_txs.iter() {
+        tx.send(ShardMsg::Barrier(seq)).expect("barrier broadcast");
+    }
+}
+
+fn stop(shard_txs: &[SyncSender<ShardMsg>]) {
+    for tx in shard_txs.iter() {
+        let _ = tx.send(ShardMsg::Shutdown);
+    }
+    // VIOLATION: data after the terminal message.
+    shard_txs[0].send(ShardMsg::Batch(0)).expect("late batch");
+}
+
+fn shard_loop(rx: Receiver<ShardMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(b) => apply(b),
+            ShardMsg::Barrier(seq) => ack(seq),
+            ShardMsg::Shutdown => break,
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixture: the shard loop matches `ShardMsg` with a wildcard `_` arm —
+//! the next protocol variant added would be silently swallowed here
+//! instead of forcing this match to take a position. Checked against the
+//! mini ShardMsg spec in the test; one `protocol-wildcard` finding must
+//! fire on the `_` arm, plus a `protocol` finding for the uncovered
+//! `Barrier` variant.
+
+enum ShardMsg {
+    Batch(u64),
+    Barrier(u64),
+    Shutdown,
+}
+
+fn feed(shard_txs: &[SyncSender<ShardMsg>], b: u64) {
+    shard_txs[0].send(ShardMsg::Batch(b)).expect("batch");
+}
+
+fn flush(shard_txs: &[SyncSender<ShardMsg>], seq: u64) {
+    for tx in shard_txs.iter() {
+        tx.send(ShardMsg::Barrier(seq)).expect("barrier broadcast");
+    }
+}
+
+fn stop(shard_txs: &[SyncSender<ShardMsg>]) {
+    for tx in shard_txs.iter() {
+        let _ = tx.send(ShardMsg::Shutdown);
+    }
+}
+
+fn shard_loop(rx: Receiver<ShardMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(b) => apply(b),
+            ShardMsg::Shutdown => break,
+            // VIOLATION: Barrier (and every future variant) is dropped here.
+            _ => {}
+        }
+    }
+}

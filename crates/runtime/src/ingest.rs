@@ -286,8 +286,11 @@ impl IngestHandle {
     /// silently there would break the lossless `Block` contract and let a
     /// long soak grind on against a dead shard).
     fn on_disconnected(&self, shard: usize) {
+        // Acquire pairs with the Release store in `Runtime::shutdown` (see
+        // the atomic-ordering auditor's `flag` role): observing the flag
+        // must also observe the shutdown that raised it.
         assert!(
-            self.shared.shutdown.load(Ordering::Relaxed),
+            self.shared.shutdown.load(Ordering::Acquire),
             "shard {shard} worker thread is gone while the runtime is live"
         );
     }

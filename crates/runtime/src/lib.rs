@@ -893,7 +893,14 @@ impl ShardedRuntime {
             Mode::Sharded(mut sharded) => {
                 // From here on, handles finding a disconnected queue treat
                 // it as "the runtime finished" rather than a crashed worker.
-                sharded.shared.shutdown.store(true, Ordering::Relaxed);
+                // Release pairs with the Acquire load in
+                // `IngestHandle::on_disconnected`: a handle that observes the
+                // flag also observes everything shutdown published before it.
+                // (The disconnect itself is only observable after the worker
+                // exits, but that edge runs the wrong way for the flag — the
+                // atomics auditor wants the pair explicit, and it is free
+                // here, far off the hot path.)
+                sharded.shared.shutdown.store(true, Ordering::Release);
                 // The default handle is a producer like any other: finishing
                 // it flushes its buffers and folds its counters into the
                 // shared accumulator — external handles should already have

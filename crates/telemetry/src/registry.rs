@@ -17,6 +17,10 @@ use std::sync::{Arc, Mutex};
 ///
 /// Cloning shares the underlying atomic; increments are relaxed atomic adds
 /// (one `lock xadd`, no mutex) so handles are safe to bump on hot paths.
+///
+/// Atomic-ordering audit: role `counter` — a pure statistic. Relaxed is
+/// correct: no reader uses the value to gate access to other memory, so
+/// the op carries no happens-before obligation.
 #[derive(Debug, Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);
 
@@ -41,6 +45,11 @@ impl Counter {
 }
 
 /// A gauge handle: a value that can move both ways, plus a high-water helper.
+///
+/// Atomic-ordering audit: role `watermark` (the `fetch_max` high-water op
+/// dominates the classification). Relaxed is correct for the same reason as
+/// [`Counter`]: gauge values are reporting data, never a synchronization
+/// signal.
 #[derive(Debug, Clone, Default)]
 pub struct Gauge(Arc<AtomicU64>);
 
