@@ -19,6 +19,7 @@
 //! | `thread-spawn` | threads are spawned only by `swift-runtime` and the bench harnesses |
 //! | `lifecycle-send` | lifecycle/barrier messages are never shed: no `try_send` of `Register`/`Teardown`/`Barrier`/`Resync`/`Shutdown`/`ShardDone` |
 //! | `bare-applier` | bench/harness code branches on `try_applier()` instead of the K≥2-panicking `RuntimeReport::applier()` |
+//! | `hot-path-alloc` | the fused-kernel scoring hot path stays allocation-free: no `Vec::new()` / `IdBitSet::new()` / `vec![...]` in kernel bodies or the hot scoring functions — capacity lives in the engine-owned `ScoreScratch` |
 //! | `pragma` | every `swift-lint` pragma is well-formed, names a known rule and carries a reason |
 //! | `protocol` | the `ShardMsg`/`ApplierMsg` traffic matches the declared automaton: broadcasts loop over the fan-out collection, nothing follows a terminal message, acks/replies are exactly-once, quorums are gated (see [`crate::protocol`]) |
 //! | `protocol-wildcard` | no `_` arm on a protocol enum match — new variants must not be silently droppable (see [`crate::protocol`]) |
@@ -40,6 +41,8 @@ pub const RULE_THREAD_SPAWN: &str = "thread-spawn";
 pub const RULE_LIFECYCLE_SEND: &str = "lifecycle-send";
 /// Rule key: `RuntimeReport::applier()` in bench code.
 pub const RULE_BARE_APPLIER: &str = "bare-applier";
+/// Rule key: per-call heap allocation on the inference scoring hot path.
+pub const RULE_HOT_PATH_ALLOC: &str = "hot-path-alloc";
 /// Rule key: malformed or unknown pragma.
 pub const RULE_PRAGMA: &str = "pragma";
 /// Rule key: message-protocol violation against the declared automaton
@@ -64,6 +67,7 @@ pub const KNOWN_RULES: &[&str] = &[
     RULE_THREAD_SPAWN,
     RULE_LIFECYCLE_SEND,
     RULE_BARE_APPLIER,
+    RULE_HOT_PATH_ALLOC,
     RULE_PROTOCOL,
     RULE_PROTOCOL_WILDCARD,
     RULE_ATOMIC_ORDERING,
@@ -81,6 +85,44 @@ const HOT_PATH_FILES: &[&str] = &[
 /// per-message measurements are the documented exception — they are off the
 /// per-event path and are what the latency metrics are made of.
 const INSTANT_NOW_ALLOWED_FNS: &[&str] = &["new", "shard_loop", "applier_loop"];
+
+/// The inference-scorer files `hot-path-alloc` polices. In `kernels.rs`
+/// every function body is hot (the crate exists for the allocation-free
+/// pass); in the other files only the functions in [`ALLOC_HOT_FNS`] are.
+const ALLOC_HOT_FILES: &[&str] = &[
+    "crates/core/src/inference/kernels.rs",
+    "crates/core/src/inference/fit_score.rs",
+    "crates/core/src/inference/aggregate.rs",
+    "crates/core/src/inference/counters.rs",
+];
+
+/// The scoring hot path proper: the per-trial / per-event functions where a
+/// fresh `Vec`/`IdBitSet` would allocate once per greedy step or ranking
+/// drain. Reference implementations (`*_scan`, `*_materialized`,
+/// `union_bits`, `rescore`) deliberately stay outside this list — their
+/// allocations are the baseline the kernels are measured against.
+const ALLOC_HOT_FNS: &[&str] = &[
+    "score_link_set",
+    "infer_with_scorer",
+    "update",
+    "union_counts",
+    "union_counts_buffered",
+    "wp",
+    "w_union",
+    "p_union",
+    "agg_seed",
+    "agg_trial",
+    "agg_accept",
+    "crossing_prefixes",
+    "seed",
+    "trial",
+    "accept",
+    "score_set",
+];
+
+/// Constructors in `kernels.rs` allowed to allocate: building the
+/// engine-owned scratch is the one place capacity is created.
+const ALLOC_KERNEL_CTORS: &[&str] = &["new", "default", "with_capacity"];
 
 /// The message-enum variants that make up the lifecycle/barrier protocol —
 /// shedding any of these would break in-band ordering or the barrier quorum.
@@ -112,6 +154,9 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     }
     if file.rel.starts_with("crates/bench/") {
         check_bare_applier(file, &mut out);
+    }
+    if ALLOC_HOT_FILES.contains(&file.rel.as_str()) {
+        check_hot_path_alloc(file, &mut out);
     }
     out
 }
@@ -349,6 +394,55 @@ fn check_bare_applier(file: &SourceFile, out: &mut Vec<Finding>) {
                       — branch on `try_applier()` or use the aggregate accessors \
                       (`swift_rule_count()`, `pending_events()`, `forwarding_next_hop()`)"
                 .into(),
+        });
+    }
+}
+
+/// `hot-path-alloc`: flags per-call heap allocation (`Vec::new()`,
+/// `IdBitSet::new()`, `vec![...]`) inside the fused-kernel scoring hot path.
+/// In `kernels.rs` every non-constructor body is policed; in the other
+/// scorer files only the hot functions ([`ALLOC_HOT_FNS`]) are. Test code
+/// never fires, and a pragma with a reason exempts a line — but the kernel
+/// bodies themselves are expected to stay pragma-free (capacity belongs in
+/// `ScoreScratch`, not in a justified allocation).
+fn check_hot_path_alloc(file: &SourceFile, out: &mut Vec<Finding>) {
+    let kernels = file.rel.ends_with("/kernels.rs");
+    for i in 0..file.tokens.len() {
+        let vec_new = match_seq(&file.tokens, i, &["Vec", ":", ":", "new", "(", ")"]);
+        let bitset_new = match_seq(&file.tokens, i, &["IdBitSet", ":", ":", "new", "(", ")"]);
+        let vec_macro = match_seq(&file.tokens, i, &["vec", "!", "["]);
+        if !(vec_new || bitset_new || vec_macro) {
+            continue;
+        }
+        let line = file.tokens[i].line;
+        if file.in_test(line) || file.allowed(RULE_HOT_PATH_ALLOC, line) {
+            continue;
+        }
+        let hot = match file.enclosing_fn(line) {
+            Some(f) if kernels => !ALLOC_KERNEL_CTORS.contains(&f.name.as_str()),
+            Some(f) => ALLOC_HOT_FNS.contains(&f.name.as_str()),
+            None => false,
+        };
+        if !hot {
+            continue;
+        }
+        let what = if vec_macro {
+            "`vec![...]`"
+        } else if vec_new {
+            "`Vec::new()`"
+        } else {
+            "`IdBitSet::new()`"
+        };
+        out.push(Finding {
+            rule: RULE_HOT_PATH_ALLOC,
+            path: file.rel.clone(),
+            line,
+            message: format!(
+                "{what} on the inference scoring hot path — the fused kernels are \
+                 allocation-free by contract: reuse the engine-owned `ScoreScratch` \
+                 (or `Vec::with_capacity` outside the kernel bodies), or justify with \
+                 `// swift-lint: allow(hot-path-alloc) -- <reason>`"
+            ),
         });
     }
 }

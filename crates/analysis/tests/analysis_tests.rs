@@ -145,6 +145,33 @@ fn bare_applier_fires_in_bench_code_only() {
 }
 
 #[test]
+fn hot_path_alloc_polices_every_kernel_body() {
+    let findings = check_as("crates/core/src/inference/kernels.rs", "hot_path_alloc.rs");
+    assert_eq!(
+        count(&findings, "hot-path-alloc"),
+        4,
+        "exactly the four VIOLATION lines: constructors, the pragma'd fn, \
+         literals, comments and test code must not fire: {findings:?}"
+    );
+    assert_eq!(findings.len(), 4, "no other rule fires: {findings:?}");
+    assert!(findings[0].message.contains("ScoreScratch"));
+}
+
+#[test]
+fn hot_path_alloc_scopes_to_hot_fns_outside_kernels() {
+    // In the other scorer files only the listed hot functions are policed:
+    // `block_wp` and `helper_off_hot_list` are ordinary code there.
+    let findings = check_as(
+        "crates/core/src/inference/fit_score.rs",
+        "hot_path_alloc.rs",
+    );
+    assert_eq!(count(&findings, "hot-path-alloc"), 2, "{findings:?}");
+    // And off the hot-file list entirely, the rule is out of scope.
+    let elsewhere = check_as("crates/core/src/fixture.rs", "hot_path_alloc.rs");
+    assert_eq!(count(&elsewhere, "hot-path-alloc"), 0, "{elsewhere:?}");
+}
+
+#[test]
 fn pragma_rule_flags_malformed_unknown_and_reasonless() {
     let findings = check_as("crates/core/src/fixture.rs", "pragmas.rs");
     assert_eq!(count(&findings, "pragma"), 3, "{findings:?}");

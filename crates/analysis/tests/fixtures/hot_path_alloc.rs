@@ -1,0 +1,56 @@
+// Fixture for the `hot-path-alloc` rule. Checked twice: as
+// `crates/core/src/inference/kernels.rs`, where every non-constructor
+// function body is policed (expected findings: the four VIOLATION lines),
+// and as `crates/core/src/inference/fit_score.rs`, where only the hot
+// scoring functions are (expected findings: the two in `score_link_set`).
+
+fn score_link_set() {
+    let w: Vec<u32> = Vec::new(); // VIOLATION: per-call Vec on the scoring path
+    let p = IdBitSet::new(); // VIOLATION: per-call bitset on the scoring path
+    drop((w, p));
+}
+
+fn block_wp() {
+    let buf = vec![0u64; 4]; // VIOLATION in kernels.rs only (not a listed hot fn)
+    drop(buf);
+}
+
+fn helper_off_hot_list() {
+    let v: Vec<u32> = Vec::new(); // VIOLATION in kernels.rs only
+    drop(v);
+}
+
+fn new() -> Vec<u32> {
+    // Constructor-family names may allocate: this is where capacity is born.
+    Vec::new()
+}
+
+fn with_capacity() {
+    let s = Vec::new(); // also constructor-family, never fires
+    drop(s);
+}
+
+fn union_counts() {
+    // swift-lint: allow(hot-path-alloc) -- scan-reference fallback, not the fused kernel
+    let set = IdBitSet::new();
+    drop(set);
+}
+
+fn string_literal_is_fine() {
+    let s = "Vec::new() inside a string literal never fires";
+    let r = r#"vec![IdBitSet::new()] inside a raw string never fires"#;
+    drop((s, r));
+}
+
+// Vec::new() inside a comment never fires.
+/* vec![0u8; 8] inside a block comment never fires. */
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let v: Vec<u32> = Vec::new();
+        let b = vec![1u32, 2, 3];
+        drop((v, b));
+    }
+}

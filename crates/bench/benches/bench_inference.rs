@@ -6,9 +6,11 @@
 //! timing it — a rot check for the harness, not a measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swift_bgp::{AsPath, ElementaryEvent, InternedRib, Prefix};
+use swift_bgp::{AsLink, AsPath, ElementaryEvent, InternedRib, Prefix};
 use swift_core::inference::{
-    infer_links, infer_links_scan, predict, predict_scan, InferenceEngine, LinkCounters,
+    fused_union_counts, infer_links, infer_links_materialized, infer_links_scan, predict,
+    predict_scan, score_link_set, score_link_set_materialized, score_link_set_scan, IdBitSet,
+    InferenceEngine, LinkCounters, ScoreScratch,
 };
 use swift_core::InferenceConfig;
 
@@ -97,11 +99,161 @@ fn bench_engine_stream(c: &mut Criterion) {
     });
 }
 
+/// `fanout`-way RIB: every path enters at AS 2 and fans out over `fanout`
+/// second hops, so the links `(2, 100+j)` partition the prefix space and all
+/// share endpoint 2 (the shape the greedy aggregation chains over). `blocked`
+/// lays each link's prefixes out contiguously (promotes the per-link bitsets
+/// to the dense form); striped spreads them across the whole id space (sparse
+/// posting lists).
+fn fanout_rib(n: u32, fanout: u32, blocked: bool) -> Vec<(Prefix, AsPath)> {
+    let per_link = (n / fanout).max(1);
+    (0..n)
+        .map(|i| {
+            let j = if blocked { i / per_link } else { i % fanout }.min(fanout - 1);
+            let path = AsPath::new([2u32, 100 + j, 1_000 + (i % 16)]);
+            (Prefix::nth_slash24(i), path)
+        })
+        .collect()
+}
+
+/// Counters over `table` with every second prefix withdrawn, so both the `W`
+/// and `P` masks are populated.
+fn counters_with_withdrawals(table: &[(Prefix, AsPath)]) -> LinkCounters {
+    let mut c = LinkCounters::from_rib(table.iter().map(|(a, b)| (a, b)));
+    for (k, (prefix, _)) in table.iter().enumerate() {
+        if k % 2 == 0 {
+            c.on_withdraw(*prefix);
+        }
+    }
+    c
+}
+
+/// The fused single-pass set scorer against the materialized-union path it
+/// replaced (and, at the smallest size, the full-RIB scan) on an 8-link set.
+fn bench_kernel_score_set(c: &mut Criterion) {
+    let config = InferenceConfig::default();
+    let set: Vec<AsLink> = (0..8).map(|j| AsLink::new(2, 100 + j)).collect();
+    let mut group = c.benchmark_group("kernels/score_link_set");
+    for &size in &[10_000u32, 100_000, 1_000_000] {
+        // Striped layout: each link's prefixes interleave across the whole id
+        // space (the shape RIB seeding order actually produces), so the
+        // materialized path pays for a union spanning the full space.
+        let table = fanout_rib(size, 64, false);
+        let counters = counters_with_withdrawals(&table);
+        group.bench_with_input(BenchmarkId::new("fused", size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(score_link_set(&counters, &set, &config)))
+        });
+        group.bench_with_input(BenchmarkId::new("materialized", size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(score_link_set_materialized(&counters, &set, &config)))
+        });
+        if size == 10_000 {
+            group.bench_with_input(BenchmarkId::new("scan", size), &size, |b, _| {
+                b.iter(|| std::hint::black_box(score_link_set_scan(&counters, &set, &config)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The raw fused kernel on each dispatch shape: all-sparse (galloping merge),
+/// all-dense (summary-guided block loop) and mixed, over a 1M-id space.
+fn bench_kernel_raw(c: &mut Criterion) {
+    const N: u32 = 1 << 20;
+    let dense: Vec<IdBitSet> = (0..4u32)
+        .map(|q| {
+            let mut s = IdBitSet::with_capacity(N as usize);
+            let start = q * (N / 4);
+            for id in (start..start + N / 4).step_by(3) {
+                s.set(id);
+            }
+            s
+        })
+        .collect();
+    // Linearly spread ids: the posting list grows max_id faster than 32×len,
+    // so these never cross the promotion threshold.
+    let sparse: Vec<IdBitSet> = (0..4u32)
+        .map(|k| {
+            let mut s = IdBitSet::new();
+            for i in 0..2_000u32 {
+                s.set(i * 523 + k * 97);
+            }
+            s
+        })
+        .collect();
+    let mut withdrawn = IdBitSet::with_capacity(N as usize);
+    let mut routed = IdBitSet::with_capacity(N as usize);
+    for id in (0..N).step_by(2) {
+        withdrawn.set(id);
+    }
+    for id in (1..N).step_by(2) {
+        routed.set(id);
+    }
+    let mut scratch = ScoreScratch::new();
+    let mut group = c.benchmark_group("kernels/raw_union_counts");
+    let dense_refs: Vec<&IdBitSet> = dense.iter().collect();
+    let sparse_refs: Vec<&IdBitSet> = sparse.iter().collect();
+    let mixed_refs: Vec<&IdBitSet> = dense.iter().take(2).chain(sparse.iter().take(2)).collect();
+    group.bench_function("sparse", |b| {
+        b.iter(|| {
+            std::hint::black_box(fused_union_counts(
+                &sparse_refs,
+                &withdrawn,
+                &routed,
+                &mut scratch,
+            ))
+        })
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            std::hint::black_box(fused_union_counts(
+                &dense_refs,
+                &withdrawn,
+                &routed,
+                &mut scratch,
+            ))
+        })
+    });
+    group.bench_function("mixed", |b| {
+        b.iter(|| {
+            std::hint::black_box(fused_union_counts(
+                &mixed_refs,
+                &withdrawn,
+                &routed,
+                &mut scratch,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// The greedy aggregation chain end to end: the incremental running-union
+/// scorer (O(k) kernel passes) against the recompute-every-trial baseline
+/// (O(k²)). The 64-way fanout makes every link tie on FS, so the chain
+/// actually walks all candidates.
+fn bench_greedy_chain(c: &mut Criterion) {
+    let config = InferenceConfig::default();
+    let mut group = c.benchmark_group("kernels/greedy_chain");
+    for &size in &[10_000u32, 100_000, 1_000_000] {
+        let table = fanout_rib(size, 64, false);
+        let counters = counters_with_withdrawals(&table);
+        group.bench_with_input(BenchmarkId::new("incremental", size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(infer_links(&counters, &config)))
+        });
+        group.bench_with_input(BenchmarkId::new("recompute", size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(infer_links_materialized(&counters, &config)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_counter_updates,
     bench_inference,
     bench_attempt_indexed_vs_scan,
-    bench_engine_stream
+    bench_engine_stream,
+    bench_kernel_score_set,
+    bench_kernel_raw,
+    bench_greedy_chain
 );
 criterion_main!(benches);

@@ -16,19 +16,26 @@
 //! ~2 s from burst start to reroute; at Internet scale (~900k prefixes) only
 //! the indexed path stays comfortably inside it.
 //!
-//! Usage: `exp_scale [--smoke]` — `--smoke` runs a reduced sweep (used by CI
-//! to keep the harness from rotting) and still verifies indexed == scan.
+//! Usage: `exp_scale [--smoke] [--bench-out PATH]` — `--smoke` runs a
+//! reduced sweep (used by CI to keep the harness from rotting) and still
+//! verifies indexed == scan. Every run appends one record (git revision,
+//! timestamp, tier, the per-point latencies) to the `BENCH_scale.json`
+//! trajectory, the same append-only shape `exp_soak` keeps in
+//! `BENCH_soak.json`, so the scaling curve's history accumulates across
+//! commits.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::path::Path;
 use std::time::Instant;
-use swift_bench::harness::ExpArgs;
+use swift_bench::harness::{git_describe, unix_time, ExpArgs};
 use swift_bgp::{AsLink, AsPath, Asn, InternedRib, Prefix};
 use swift_core::inference::{
     infer_links, infer_links_scan, predict, predict_scan, InferredLinks, LinkCounters,
 };
 use swift_core::InferenceConfig;
+use swift_telemetry::{append_trajectory, json_array, JsonObject};
 
 /// A synthetic single-session RIB with a realistic link-weight skew: 40
 /// Zipf-weighted second hops behind peer AS 2, each with up to 8 children and
@@ -105,7 +112,12 @@ fn attempt_scan(c: &LinkCounters, config: &InferenceConfig) -> (InferredLinks, u
 }
 
 fn main() {
-    let smoke = ExpArgs::parse().flag("--smoke");
+    let args = ExpArgs::parse();
+    let smoke = args.flag("--smoke");
+    let bench_out = args
+        .value("--bench-out")
+        .unwrap_or("BENCH_scale.json")
+        .to_string();
     let config = InferenceConfig::default();
     let rib_sizes: &[usize] = if smoke {
         &[10_000, 50_000]
@@ -126,6 +138,7 @@ fn main() {
         "rib", "burst", "paths", "cands", "indexed µs", "scan µs", "speedup"
     );
 
+    let mut rows: Vec<String> = Vec::with_capacity(rib_sizes.len() * burst_sizes.len());
     for &n in rib_sizes {
         let rib = build_rib(n, 0x5ca1_e000 + n as u64);
         for &burst in burst_sizes {
@@ -163,10 +176,32 @@ fn main() {
                 scan_us,
                 scan_us / indexed_us
             );
+            rows.push(
+                JsonObject::new()
+                    .u64("rib", n as u64)
+                    .u64("burst", withdrawn as u64)
+                    .u64("candidates", candidates as u64)
+                    .f64("indexed_us", indexed_us)
+                    .f64("scan_us", scan_us)
+                    .f64("speedup", scan_us / indexed_us)
+                    .finish(),
+            );
         }
     }
 
+    // One trajectory record per run, appended so the scaling curve's history
+    // accumulates across commits (same shape as `BENCH_soak.json`).
+    let record = JsonObject::new()
+        .str("git", &git_describe())
+        .u64("unix_time", unix_time())
+        .str("tier", if smoke { "smoke" } else { "full" })
+        .raw("runs", &json_array(rows))
+        .finish();
+    let records = append_trajectory(Path::new(&bench_out), &record)
+        .unwrap_or_else(|e| panic!("appending to {bench_out}: {e}"));
+    println!("\ntrajectory appended to {bench_out} ({records} run records)");
+
     if smoke {
-        println!("\nsmoke sweep done: indexed and scan implementations agree on every point");
+        println!("smoke sweep done: indexed and scan implementations agree on every point");
     }
 }

@@ -11,7 +11,10 @@
 
 use crate::config::InferenceConfig;
 use crate::inference::counters::LinkCounters;
-use crate::inference::fit_score::{rank_links, score_link_set, score_link_set_scan, Score};
+use crate::inference::fit_score::{
+    rank_links, score_from_counts, score_link_set, score_link_set_materialized,
+    score_link_set_scan, Score,
+};
 use swift_bgp::{AsLink, Asn};
 
 /// The result of the link-selection step.
@@ -64,7 +67,7 @@ pub fn infer_links_ranked(
     ranking: &[(AsLink, Score)],
     config: &InferenceConfig,
 ) -> InferredLinks {
-    infer_with_scorer(counters, ranking, config, score_link_set)
+    infer_with_scorer(counters, ranking, config, &mut SetScorer::Fused)
 }
 
 /// Reference implementation of [`infer_links`] whose set scores come from the
@@ -75,19 +78,107 @@ pub fn infer_links_scan(counters: &LinkCounters, config: &InferenceConfig) -> In
         counters,
         &rank_links(counters, config),
         config,
-        score_link_set_scan,
+        &mut SetScorer::rescore(score_link_set_scan),
     )
+}
+
+/// Reference implementation of [`infer_links`] whose greedy chain re-unions
+/// every trial set from scratch through the materialised-union path — the
+/// pre-kernel O(k²) behaviour, kept for the equivalence property tests and
+/// as the baseline of the `bench_inference` greedy-chain groups.
+pub fn infer_links_materialized(
+    counters: &LinkCounters,
+    config: &InferenceConfig,
+) -> InferredLinks {
+    infer_with_scorer(
+        counters,
+        &rank_links(counters, config),
+        config,
+        &mut SetScorer::rescore(score_link_set_materialized),
+    )
+}
+
+/// How [`infer_with_scorer`] scores the growing greedy aggregate.
+///
+/// The fused variant keeps a *running union* of the current aggregate in the
+/// counters' kernel scratch: seeding costs one pass over the seed's crossing
+/// set, each trial fuses `[running ∪ candidate]` in one pass, and accepting a
+/// candidate ORs it into the running words — O(1) passes per candidate, so a
+/// greedy chain over k candidates is O(k) passes instead of the O(k²) the
+/// rescoring references pay by re-unioning the explicit set each trial.
+enum SetScorer {
+    /// Incremental scoring over the scratch-resident running union.
+    Fused,
+    /// From-scratch rescoring of the explicit trial set through `f` — the
+    /// reference shape (scan or materialized union) for tests and benches.
+    Rescore {
+        f: fn(&LinkCounters, &[AsLink], &InferenceConfig) -> Score,
+        set: Vec<AsLink>,
+    },
+}
+
+impl SetScorer {
+    fn rescore(f: fn(&LinkCounters, &[AsLink], &InferenceConfig) -> Score) -> SetScorer {
+        SetScorer::Rescore { f, set: Vec::new() }
+    }
+
+    /// Resets the aggregate to `{seed}` and returns its score.
+    fn seed(&mut self, c: &LinkCounters, cfg: &InferenceConfig, seed: AsLink) -> Score {
+        match self {
+            SetScorer::Fused => {
+                let (w, p) = c.agg_seed(&seed);
+                score_from_counts(w, p, c.total_withdrawals(), cfg)
+            }
+            SetScorer::Rescore { f, set } => {
+                set.clear();
+                set.push(seed);
+                f(c, set, cfg)
+            }
+        }
+    }
+
+    /// Score of the current aggregate extended by `candidate`, uncommitted.
+    fn trial(&mut self, c: &LinkCounters, cfg: &InferenceConfig, candidate: AsLink) -> Score {
+        match self {
+            SetScorer::Fused => {
+                let (w, p) = c.agg_trial(&candidate);
+                score_from_counts(w, p, c.total_withdrawals(), cfg)
+            }
+            SetScorer::Rescore { f, set } => {
+                set.push(candidate);
+                let s = f(c, set, cfg);
+                set.pop();
+                s
+            }
+        }
+    }
+
+    /// Commits the last trialled `candidate` into the aggregate.
+    fn accept(&mut self, c: &LinkCounters, candidate: AsLink) {
+        match self {
+            SetScorer::Fused => c.agg_accept(&candidate),
+            SetScorer::Rescore { set, .. } => set.push(candidate),
+        }
+    }
+
+    /// Scores an arbitrary link set (the final max-set ∪ aggregate union).
+    fn score_set(&mut self, c: &LinkCounters, cfg: &InferenceConfig, links: &[AsLink]) -> Score {
+        match self {
+            SetScorer::Fused => score_link_set(c, links, cfg),
+            SetScorer::Rescore { f, .. } => f(c, links, cfg),
+        }
+    }
 }
 
 fn infer_with_scorer(
     counters: &LinkCounters,
     ranking: &[(AsLink, Score)],
     config: &InferenceConfig,
-    score_set: fn(&LinkCounters, &[AsLink], &InferenceConfig) -> Score,
+    scorer: &mut SetScorer,
 ) -> InferredLinks {
     let Some((top_link, top_score)) = ranking.first().copied() else {
         return InferredLinks {
-            links: Vec::new(),
+            links: Vec::with_capacity(0),
             score: Score {
                 ws: 0.0,
                 ps: 0.0,
@@ -96,12 +187,12 @@ fn infer_with_scorer(
         };
     };
 
-    // All links within tolerance of the maximum fit score.
-    let max_set: Vec<AsLink> = ranking
+    // Links within tolerance of the maximum fit score are a prefix of the
+    // ranking (it is sorted by decreasing FS).
+    let max_len = ranking
         .iter()
         .take_while(|(_, s)| s.fs >= top_score.fs - config.fs_tolerance)
-        .map(|(l, _)| *l)
-        .collect();
+        .count();
 
     // Greedy common-endpoint aggregation starting from the top link (covers
     // router failures that take down several adjacent links): links are tried
@@ -111,44 +202,44 @@ fn infer_with_scorer(
     // §4.2). Unaffected sibling links fail (b) because their still-routed
     // prefixes dilute the path share; siblings whose withdrawals are already
     // explained by the seed add nothing and are left to the max-FS tie rule.
-    let mut aggregate = vec![top_link];
-    let mut aggregate_score = score_set(counters, &aggregate, config);
-    let mut shared_endpoints: Vec<Asn> = vec![top_link.from, top_link.to];
+    // The aggregate vector is part of the result; the per-trial scoring state
+    // lives in the scorer (running union or reusable set buffer).
+    let mut aggregate: Vec<AsLink> = Vec::with_capacity(4);
+    aggregate.push(top_link);
+    let mut aggregate_score = scorer.seed(counters, config, top_link);
+    // An aggregate's shared endpoints are at most the two of its seed.
+    let mut shared: (Option<Asn>, Option<Asn>) = (Some(top_link.from), Some(top_link.to));
     for (candidate, _) in ranking.iter().skip(1) {
         if aggregate.contains(candidate) {
             continue;
         }
-        let new_shared: Vec<Asn> = shared_endpoints
-            .iter()
-            .copied()
-            .filter(|e| candidate.has_endpoint(*e))
-            .collect();
-        if new_shared.is_empty() {
+        let still_a = shared.0.filter(|e| candidate.has_endpoint(*e));
+        let still_b = shared.1.filter(|e| candidate.has_endpoint(*e));
+        if still_a.is_none() && still_b.is_none() {
             continue;
         }
-        let mut trial = aggregate.clone();
-        trial.push(*candidate);
-        let trial_score = score_set(counters, &trial, config);
+        let trial_score = scorer.trial(counters, config, *candidate);
         if trial_score.fs > aggregate_score.fs + config.fs_tolerance {
-            aggregate = trial;
+            scorer.accept(counters, *candidate);
+            aggregate.push(*candidate);
             aggregate_score = trial_score;
-            shared_endpoints = new_shared;
+            shared = (still_a, still_b);
         }
     }
 
     // The returned set is the union of the maximum-FS ties and the aggregation
     // result; deterministic order: aggregation seed first, then by FS rank.
-    let mut links: Vec<AsLink> = Vec::new();
-    for (l, _) in ranking {
-        if max_set.contains(l) || aggregate.contains(l) {
-            links.push(*l);
-        }
-    }
+    let links: Vec<AsLink> = ranking
+        .iter()
+        .enumerate()
+        .filter(|(i, (l, _))| *i < max_len || aggregate.contains(l))
+        .map(|(_, (l, _))| *l)
+        .collect();
 
     let score = if links.len() == 1 {
         top_score
     } else {
-        score_set(counters, &links, config)
+        scorer.score_set(counters, config, &links)
     };
     InferredLinks { links, score }
 }

@@ -20,19 +20,136 @@
 //! again (withdrawal purges) stay dense — re-demotion would thrash on
 //! burst-boundary churn.
 //!
+//! # Chunk summary
+//!
+//! Dense sets additionally carry a two-level *chunk summary*: one summary bit
+//! per [`BLOCK_WORDS`]-word (512-bit) block, set exactly when the block holds
+//! at least one set bit. The fused scoring kernels in [`super::kernels`] test
+//! the summary before touching a block, so a link whose prefixes cluster in a
+//! corner of a 1M-wide id space skips the empty regions at 512 ids per summary
+//! bit instead of streaming zero words. The invariant (`summary bit b set ⟺
+//! block b non-zero`) is maintained by every mutation and checkable with
+//! [`IdBitSet::check_summary_invariant`].
+//!
 //! All operations are representation-agnostic: unions, intersection counts and
 //! id iteration accept any sparse/dense operand mix, and equality compares
 //! *contents*, never representations.
 
+/// Words per summary block: 8 × 64 = 512 bits per summary bit.
+pub const BLOCK_WORDS: usize = 8;
+
+/// Ids covered by one summary block.
+pub const BLOCK_BITS: usize = BLOCK_WORDS * 64;
+
+/// The word-packed form plus its chunk-summary bitmap.
+///
+/// `summary` holds one bit per `BLOCK_WORDS`-word block of `words`
+/// (`summary[b / 64] >> (b % 64) & 1`), set exactly when the block contains a
+/// non-zero word.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DenseBits {
+    pub(crate) words: Vec<u64>,
+    pub(crate) summary: Vec<u64>,
+}
+
+/// Summary words needed to cover `words` data words.
+fn summary_len(words: usize) -> usize {
+    words.div_ceil(BLOCK_WORDS).div_ceil(64)
+}
+
+impl DenseBits {
+    /// An all-zero set pre-sized for ids `< capacity`.
+    fn with_bit_capacity(capacity: usize) -> Self {
+        let words = capacity.div_ceil(64);
+        DenseBits {
+            words: vec![0; words],
+            summary: vec![0; summary_len(words)],
+        }
+    }
+
+    /// Builds from a sorted posting list.
+    fn from_ids(ids: &[u32]) -> Self {
+        let cap = ids.last().map_or(0, |&m| m as usize + 1);
+        let mut dense = DenseBits::with_bit_capacity(cap);
+        for &id in ids {
+            dense.words[(id / 64) as usize] |= 1u64 << (id % 64);
+        }
+        dense.rebuild_summary();
+        dense
+    }
+
+    /// Recomputes the whole summary from the data words.
+    fn rebuild_summary(&mut self) {
+        self.summary.clear();
+        self.summary.resize(summary_len(self.words.len()), 0);
+        for (b, chunk) in self.words.chunks(BLOCK_WORDS).enumerate() {
+            if chunk.iter().any(|w| *w != 0) {
+                self.summary[b / 64] |= 1u64 << (b % 64);
+            }
+        }
+    }
+
+    /// Grows the word array (and the summary with it) to hold `words` words.
+    fn grow(&mut self, words: usize) {
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+            self.summary.resize(summary_len(words), 0);
+        }
+    }
+
+    fn set(&mut self, id: u32) {
+        let word = (id / 64) as usize;
+        self.grow(word + 1);
+        self.words[word] |= 1u64 << (id % 64);
+        let block = word / BLOCK_WORDS;
+        self.summary[block / 64] |= 1u64 << (block % 64);
+    }
+
+    fn clear(&mut self, id: u32) {
+        let word = (id / 64) as usize;
+        if word >= self.words.len() {
+            return;
+        }
+        self.words[word] &= !(1u64 << (id % 64));
+        if self.words[word] == 0 {
+            // The word went empty: the summary bit survives only if a sibling
+            // word of the block still holds data.
+            let block = word / BLOCK_WORDS;
+            let start = block * BLOCK_WORDS;
+            let end = (start + BLOCK_WORDS).min(self.words.len());
+            if self.words[start..end].iter().all(|w| *w == 0) {
+                self.summary[block / 64] &= !(1u64 << (block % 64));
+            }
+        }
+    }
+
+    /// Whether summary block `b` is marked non-empty.
+    #[inline]
+    pub(crate) fn block_marked(&self, b: usize) -> bool {
+        self.summary
+            .get(b / 64)
+            .is_some_and(|s| s >> (b % 64) & 1 == 1)
+    }
+}
+
 /// Sparse form: sorted, deduplicated posting list. Dense form: word-packed
-/// bits, low id first. Unset ids beyond the allocation are absent in both
-/// forms; every operation treats a set as conceptually infinite, zero-padded.
+/// bits plus chunk summary, low id first. Unset ids beyond the allocation are
+/// absent in both forms; every operation treats a set as conceptually
+/// infinite, zero-padded.
 #[derive(Debug, Clone)]
 enum Repr {
     /// Sorted posting list of set ids.
     Sparse(Vec<u32>),
-    /// Word-packed bits (`id / 64` indexes the word, `id % 64` the bit).
-    Dense(Vec<u64>),
+    /// Word-packed bits (`id / 64` indexes the word, `id % 64` the bit) with
+    /// the per-512-bit-block summary.
+    Dense(DenseBits),
+}
+
+/// Borrowed view of either representation, for the fused kernels.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Parts<'a> {
+    Sparse(&'a [u32]),
+    Dense(&'a DenseBits),
 }
 
 /// A hybrid sparse/dense bitset over dense ids, growing on demand.
@@ -59,15 +176,6 @@ fn dense_is_smaller(len: usize, max_id: u32) -> bool {
     (len as u64) * 32 > (u64::from(max_id) / 64 + 1) * 64
 }
 
-fn dense_words(ids: &[u32]) -> Vec<u64> {
-    let cap = ids.last().map_or(0, |&m| m as usize + 1);
-    let mut words = vec![0u64; cap.div_ceil(64)];
-    for &id in ids {
-        words[(id / 64) as usize] |= 1u64 << (id % 64);
-    }
-    words
-}
-
 impl IdBitSet {
     /// Creates an empty set (sparse until promotion pays off).
     pub fn new() -> Self {
@@ -80,7 +188,7 @@ impl IdBitSet {
     /// routed/withdrawn id sets): it skips the sparse phase entirely.
     pub fn with_capacity(capacity: usize) -> Self {
         IdBitSet {
-            repr: Repr::Dense(vec![0; capacity.div_ceil(64)]),
+            repr: Repr::Dense(DenseBits::with_bit_capacity(capacity)),
         }
     }
 
@@ -89,18 +197,29 @@ impl IdBitSet {
         matches!(self.repr, Repr::Dense(_))
     }
 
+    /// Borrowed view of the underlying representation for the kernels.
+    #[inline]
+    pub(crate) fn parts(&self) -> Parts<'_> {
+        match &self.repr {
+            Repr::Sparse(v) => Parts::Sparse(v),
+            Repr::Dense(d) => Parts::Dense(d),
+        }
+    }
+
     /// Bytes of heap memory behind the set (the quantity the hybrid
     /// representation exists to bound).
     pub fn heap_bytes(&self) -> usize {
         match &self.repr {
             Repr::Sparse(v) => v.capacity() * std::mem::size_of::<u32>(),
-            Repr::Dense(w) => w.capacity() * std::mem::size_of::<u64>(),
+            Repr::Dense(d) => {
+                (d.words.capacity() + d.summary.capacity()) * std::mem::size_of::<u64>()
+            }
         }
     }
 
     fn promote(&mut self) {
         if let Repr::Sparse(v) = &self.repr {
-            self.repr = Repr::Dense(dense_words(v));
+            self.repr = Repr::Dense(DenseBits::from_ids(v));
         }
     }
 
@@ -124,13 +243,7 @@ impl IdBitSet {
                     self.promote();
                 }
             }
-            Repr::Dense(words) => {
-                let word = (id / 64) as usize;
-                if word >= words.len() {
-                    words.resize(word + 1, 0);
-                }
-                words[word] |= 1u64 << (id % 64);
-            }
+            Repr::Dense(d) => d.set(id),
         }
     }
 
@@ -142,12 +255,7 @@ impl IdBitSet {
                     v.remove(pos);
                 }
             }
-            Repr::Dense(words) => {
-                let word = (id / 64) as usize;
-                if word < words.len() {
-                    words[word] &= !(1u64 << (id % 64));
-                }
-            }
+            Repr::Dense(d) => d.clear(id),
         }
     }
 
@@ -155,9 +263,9 @@ impl IdBitSet {
     pub fn test(&self, id: u32) -> bool {
         match &self.repr {
             Repr::Sparse(v) => v.binary_search(&id).is_ok(),
-            Repr::Dense(words) => {
+            Repr::Dense(d) => {
                 let word = (id / 64) as usize;
-                word < words.len() && words[word] & (1u64 << (id % 64)) != 0
+                word < d.words.len() && d.words[word] & (1u64 << (id % 64)) != 0
             }
         }
     }
@@ -166,7 +274,10 @@ impl IdBitSet {
     pub fn clear_all(&mut self) {
         match &mut self.repr {
             Repr::Sparse(v) => v.clear(),
-            Repr::Dense(words) => words.fill(0),
+            Repr::Dense(d) => {
+                d.words.fill(0);
+                d.summary.fill(0);
+            }
         }
     }
 
@@ -174,7 +285,7 @@ impl IdBitSet {
     pub fn count(&self) -> usize {
         match &self.repr {
             Repr::Sparse(v) => v.len(),
-            Repr::Dense(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+            Repr::Dense(d) => d.words.iter().map(|w| w.count_ones() as usize).sum(),
         }
     }
 
@@ -182,7 +293,7 @@ impl IdBitSet {
     pub fn is_empty(&self) -> bool {
         match &self.repr {
             Repr::Sparse(v) => v.is_empty(),
-            Repr::Dense(words) => words.iter().all(|w| *w == 0),
+            Repr::Dense(d) => d.summary.iter().all(|s| *s == 0),
         }
     }
 
@@ -190,21 +301,24 @@ impl IdBitSet {
     pub fn union_with(&mut self, other: &IdBitSet) {
         match (&mut self.repr, &other.repr) {
             (Repr::Dense(dst), Repr::Dense(src)) => {
-                if src.len() > dst.len() {
-                    dst.resize(src.len(), 0);
+                dst.grow(src.words.len());
+                for (d, s) in dst.words.iter_mut().zip(src.words.iter()) {
+                    *d |= *s;
                 }
-                for (d, s) in dst.iter_mut().zip(src.iter()) {
+                // OR only adds bits: every block non-empty in `src` is now
+                // non-empty in `dst`, and no `dst` block went empty.
+                for (d, s) in dst.summary.iter_mut().zip(src.summary.iter()) {
                     *d |= *s;
                 }
             }
             (Repr::Dense(dst), Repr::Sparse(src)) => {
                 if let Some(&max) = src.last() {
-                    let need = (max / 64) as usize + 1;
-                    if need > dst.len() {
-                        dst.resize(need, 0);
-                    }
+                    dst.grow((max / 64) as usize + 1);
                     for &id in src {
-                        dst[(id / 64) as usize] |= 1u64 << (id % 64);
+                        let word = (id / 64) as usize;
+                        dst.words[word] |= 1u64 << (id % 64);
+                        let block = word / BLOCK_WORDS;
+                        dst.summary[block / 64] |= 1u64 << (block % 64);
                     }
                 }
             }
@@ -253,8 +367,9 @@ impl IdBitSet {
     pub fn intersection_count(&self, other: &IdBitSet) -> usize {
         match (&self.repr, &other.repr) {
             (Repr::Dense(a), Repr::Dense(b)) => a
+                .words
                 .iter()
-                .zip(b.iter())
+                .zip(b.words.iter())
                 .map(|(x, y)| (x & y).count_ones() as usize)
                 .sum(),
             (Repr::Sparse(ids), Repr::Dense(_)) => ids.iter().filter(|&&id| other.test(id)).count(),
@@ -295,12 +410,48 @@ impl IdBitSet {
         IdIter {
             inner: match &self.repr {
                 Repr::Sparse(v) => IdIterInner::Sparse(v.iter()),
-                Repr::Dense(words) => IdIterInner::Dense {
-                    words,
+                Repr::Dense(d) => IdIterInner::Dense {
+                    words: &d.words,
                     word_index: 0,
-                    bits: words.first().copied().unwrap_or(0),
+                    bits: d.words.first().copied().unwrap_or(0),
                 },
             },
+        }
+    }
+
+    /// Validates the internal invariants: sorted/deduplicated posting list for
+    /// the sparse form, `summary bit b set ⟺ block b non-zero` (at the right
+    /// summary length) for the dense form. A testing hook for the kernel
+    /// property tests; release code never needs it.
+    pub fn check_summary_invariant(&self) -> Result<(), String> {
+        match &self.repr {
+            Repr::Sparse(v) => {
+                if v.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err("sparse posting list not strictly ascending".into());
+                }
+                Ok(())
+            }
+            Repr::Dense(d) => {
+                if d.summary.len() != summary_len(d.words.len()) {
+                    return Err(format!(
+                        "summary length {} != expected {} for {} words",
+                        d.summary.len(),
+                        summary_len(d.words.len()),
+                        d.words.len()
+                    ));
+                }
+                for (b, chunk) in d.words.chunks(BLOCK_WORDS).enumerate() {
+                    let nonzero = chunk.iter().any(|w| *w != 0);
+                    if d.block_marked(b) != nonzero {
+                        return Err(format!(
+                            "summary bit {b} is {} but block is {}",
+                            d.block_marked(b),
+                            if nonzero { "non-zero" } else { "zero" }
+                        ));
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -501,5 +652,78 @@ mod tests {
         assert!(s.heap_bytes() < 1_024, "got {} bytes", s.heap_bytes());
         let dense_cost = (950_000usize).div_ceil(64) * 8;
         assert!(s.heap_bytes() * 100 < dense_cost);
+    }
+
+    #[test]
+    fn summary_tracks_every_mutation() {
+        let mut s = IdBitSet::with_capacity(10 * BLOCK_BITS);
+        s.check_summary_invariant().expect("fresh dense set");
+        // One bit in block 0, one in block 3.
+        s.set(7);
+        s.set(3 * BLOCK_BITS as u32 + 100);
+        s.check_summary_invariant().expect("after sets");
+        let Parts::Dense(d) = s.parts() else {
+            panic!("with_capacity must be dense")
+        };
+        assert!(d.block_marked(0));
+        assert!(!d.block_marked(1));
+        assert!(!d.block_marked(2));
+        assert!(d.block_marked(3));
+        // Clearing the only bit of a block clears its summary bit; clearing
+        // one of two bits in the same block does not.
+        s.set(8);
+        s.clear(7);
+        s.check_summary_invariant().expect("after partial clear");
+        let Parts::Dense(d) = s.parts() else {
+            unreachable!()
+        };
+        assert!(d.block_marked(0), "id 8 still holds block 0");
+        s.clear(8);
+        s.check_summary_invariant().expect("after full clear");
+        let Parts::Dense(d) = s.parts() else {
+            unreachable!()
+        };
+        assert!(!d.block_marked(0));
+        assert!(d.block_marked(3));
+        s.clear_all();
+        s.check_summary_invariant().expect("after clear_all");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn summary_survives_promotion_and_unions() {
+        // Promotion builds a correct summary from the posting list.
+        let mut s = IdBitSet::new();
+        for i in 0..200u32 {
+            s.set(i * 3);
+        }
+        assert!(s.is_dense());
+        s.check_summary_invariant().expect("after promotion");
+
+        // Dense ∪ dense merges summaries; dense ∪ sparse marks new blocks.
+        let mut far = IdBitSet::with_capacity(64 * BLOCK_BITS);
+        far.set(50 * BLOCK_BITS as u32);
+        s.union_with(&far);
+        s.check_summary_invariant().expect("after dense union");
+        let mut sparse = IdBitSet::new();
+        sparse.set(70 * BLOCK_BITS as u32 + 1);
+        s.union_with(&sparse);
+        s.check_summary_invariant().expect("after sparse union");
+        let Parts::Dense(d) = s.parts() else {
+            unreachable!()
+        };
+        assert!(d.block_marked(50));
+        assert!(d.block_marked(70));
+        assert!(!d.block_marked(40));
+    }
+
+    #[test]
+    fn is_empty_reads_the_summary() {
+        let mut s = IdBitSet::with_capacity(100_000);
+        assert!(s.is_empty());
+        s.set(99_999);
+        assert!(!s.is_empty());
+        s.clear(99_999);
+        assert!(s.is_empty(), "clear must unmark the summary block");
     }
 }

@@ -42,8 +42,16 @@
 //! assumes.
 
 use crate::inference::bitset::IdBitSet;
+use crate::inference::kernels::{fused_wp, KernelStats, ScoreScratch};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use swift_bgp::{AsLink, AsPath, InternedRib, PathId, PathInterner, Prefix, PrefixSet};
+
+/// Largest candidate-set size scored through the stack-resident source array
+/// of the fused kernel; bigger sets (which never occur in practice — greedy
+/// aggregates hold a handful of links) fall back to the scratch-buffered
+/// materialised union, still without a per-call allocation in steady state.
+const MAX_FUSED_SOURCES: usize = 32;
 
 /// What the counters currently know about a tracked prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +102,14 @@ pub struct LinkCounters {
     withdrawn_count: usize,
     /// Links whose `W(l)` changed since the last [`LinkCounters::take_dirty`].
     dirty: BTreeSet<AsLink>,
+    /// Reusable kernel scratch (pass cursors, union buffers, dispatch stats).
+    ///
+    /// Interior mutability keeps the read-only scoring API (`union_counts`
+    /// and friends take `&self`) while the scratch warms its capacity across
+    /// calls. A `LinkCounters` lives inside exactly one session engine and is
+    /// only ever *moved* between threads, never shared — `RefCell` (Send, not
+    /// Sync) encodes precisely that.
+    scratch: RefCell<ScoreScratch>,
 }
 
 /// Iterates the distinct links of `path` (a looped path repeating a link
@@ -371,7 +387,9 @@ impl LinkCounters {
             })
     }
 
-    /// The union of the per-link prefix bitsets of `links`.
+    /// The union of the per-link prefix bitsets of `links`, materialised into
+    /// a fresh allocation — the pre-kernel behaviour, kept as the reference
+    /// for [`LinkCounters::union_counts_materialized`] and the benches.
     fn union_bits(&self, links: &[AsLink]) -> IdBitSet {
         let mut union = IdBitSet::new();
         for link in links {
@@ -382,13 +400,137 @@ impl LinkCounters {
         union
     }
 
-    /// `(W(S,t), P(S,t))` for a link set in one pass over the index.
+    /// `(W(S,t), P(S,t))` for a link set: one fused streaming pass over the
+    /// per-link bitsets and both masks, no materialised union, no per-call
+    /// heap allocation (see [`crate::inference::kernels`]).
     pub fn union_counts(&self, links: &[AsLink]) -> (usize, usize) {
+        let mut srcs: [&IdBitSet; MAX_FUSED_SOURCES] = [&self.routed_bits; MAX_FUSED_SOURCES];
+        let mut n = 0;
+        for link in links {
+            if let Some(e) = self.links.get(link) {
+                if n == MAX_FUSED_SOURCES {
+                    return self.union_counts_buffered(links);
+                }
+                srcs[n] = &e.crosses;
+                n += 1;
+            }
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        fused_wp(
+            &srcs[..n],
+            &self.withdrawn_bits,
+            &self.routed_bits,
+            &mut s.pass,
+            &mut s.stats,
+        )
+    }
+
+    /// Overflow path of [`LinkCounters::union_counts`]: materialises the union
+    /// into the reusable scratch buffer (capacity retained across calls).
+    fn union_counts_buffered(&self, links: &[AsLink]) -> (usize, usize) {
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        let before = s.union_buf.heap_bytes();
+        s.union_buf.clear_all();
+        for link in links {
+            if let Some(e) = self.links.get(link) {
+                s.union_buf.union_with(&e.crosses);
+            }
+        }
+        if s.union_buf.heap_bytes() > before {
+            s.stats.scratch_growth += 1;
+        } else {
+            s.stats.scratch_reuse += 1;
+        }
+        (
+            s.union_buf.intersection_count(&self.withdrawn_bits),
+            s.union_buf.intersection_count(&self.routed_bits),
+        )
+    }
+
+    /// Reference implementation of [`LinkCounters::union_counts`] that
+    /// materialises a fresh union per call — the pre-kernel hot path, kept
+    /// for the equivalence property tests and the `bench_inference` /
+    /// `exp_scale` fused-vs-materialized measurements.
+    pub fn union_counts_materialized(&self, links: &[AsLink]) -> (usize, usize) {
         let union = self.union_bits(links);
         (
             union.intersection_count(&self.withdrawn_bits),
             union.intersection_count(&self.routed_bits),
         )
+    }
+
+    /// `(W(l,t), P(l,t))` of a single link in one index lookup (the per-link
+    /// scorer used to pay three `BTreeMap` probes for the same entry).
+    pub fn wp(&self, link: &AsLink) -> (usize, usize) {
+        self.links.get(link).map_or((0, 0), |e| (e.w, e.p))
+    }
+
+    /// Seeds the scratch-resident greedy aggregate with `seed`'s crossing set
+    /// and returns its fused `(W, P)`.
+    ///
+    /// Together with [`LinkCounters::agg_trial`] and
+    /// [`LinkCounters::agg_accept`] this gives the greedy common-endpoint
+    /// aggregation an O(1)-per-candidate running union: a trial fuses the
+    /// current aggregate with one more crossing set instead of re-unioning
+    /// the whole link set from scratch (O(k²) → O(k) over a greedy chain).
+    pub fn agg_seed(&self, seed: &AsLink) -> (usize, usize) {
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        let before = s.agg.heap_bytes();
+        s.agg.clear_all();
+        if let Some(e) = self.links.get(seed) {
+            s.agg.union_with(&e.crosses);
+        }
+        if s.agg.heap_bytes() > before {
+            s.stats.scratch_growth += 1;
+        } else {
+            s.stats.scratch_reuse += 1;
+        }
+        let srcs: [&IdBitSet; 1] = [&s.agg];
+        fused_wp(
+            &srcs,
+            &self.withdrawn_bits,
+            &self.routed_bits,
+            &mut s.pass,
+            &mut s.stats,
+        )
+    }
+
+    /// Fused `(W, P)` of the current aggregate extended by `candidate`,
+    /// without committing the extension.
+    pub fn agg_trial(&self, candidate: &AsLink) -> (usize, usize) {
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        let srcs: [&IdBitSet; 2] = match self.links.get(candidate) {
+            Some(e) => [&s.agg, &e.crosses],
+            // Unknown link: the trial set equals the current aggregate.
+            None => [&s.agg, &s.agg],
+        };
+        fused_wp(
+            &srcs,
+            &self.withdrawn_bits,
+            &self.routed_bits,
+            &mut s.pass,
+            &mut s.stats,
+        )
+    }
+
+    /// Folds `candidate`'s crossing set into the running aggregate (call
+    /// after a successful [`LinkCounters::agg_trial`]).
+    pub fn agg_accept(&self, candidate: &AsLink) {
+        if let Some(e) = self.links.get(candidate) {
+            let mut scratch = self.scratch.borrow_mut();
+            scratch.agg.union_with(&e.crosses);
+        }
+    }
+
+    /// Drains the kernel dispatch/scratch statistics accumulated since the
+    /// last call (exported as `inference.kernel.*` / `inference.scratch.*`
+    /// registry counters by the runtime).
+    pub fn take_kernel_stats(&self) -> KernelStats {
+        self.scratch.borrow_mut().take_stats()
     }
 
     /// `W(S,t)` for a link set: withdrawn prefixes whose path crossed *any*
@@ -402,26 +544,44 @@ impl LinkCounters {
     /// would dilute the score — matching the behaviour the paper reports
     /// (aggregation covers router failures without swallowing healthy links).
     pub fn w_union(&self, links: &[AsLink]) -> usize {
-        self.union_bits(links)
-            .intersection_count(&self.withdrawn_bits)
+        self.union_counts(links).0
     }
 
     /// `P(S,t)` for a link set: still-routed prefixes whose current path
     /// crosses *any* link of `links` (each prefix counted once).
     pub fn p_union(&self, links: &[AsLink]) -> usize {
-        self.union_bits(links).intersection_count(&self.routed_bits)
+        self.union_counts(links).1
     }
 
     /// The prefixes behind a link set, split into `(withdrawn, routed)` —
     /// the index-driven form of the §4.2 prediction (reroute everything whose
     /// current path crosses an inferred link).
+    ///
+    /// This path genuinely needs materialised union ids (the output is the
+    /// prefix lists), so it builds them in the reusable scratch buffer: the
+    /// dense words are cleared in place and only grow once per session.
     pub fn crossing_prefixes(&self, links: &[AsLink]) -> (PrefixSet, PrefixSet) {
-        let union = self.union_bits(links);
-        let withdrawn = union
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        let before = s.union_buf.heap_bytes();
+        s.union_buf.clear_all();
+        for link in links {
+            if let Some(e) = self.links.get(link) {
+                s.union_buf.union_with(&e.crosses);
+            }
+        }
+        if s.union_buf.heap_bytes() > before {
+            s.stats.scratch_growth += 1;
+        } else {
+            s.stats.scratch_reuse += 1;
+        }
+        let withdrawn = s
+            .union_buf
             .intersection_ids(&self.withdrawn_bits)
             .map(|id| self.prefixes[id as usize])
             .collect();
-        let routed = union
+        let routed = s
+            .union_buf
             .intersection_ids(&self.routed_bits)
             .map(|id| self.prefixes[id as usize])
             .collect();

@@ -135,6 +135,13 @@ impl InferenceEngine {
         &self.counters
     }
 
+    /// Drains the kernel dispatch/scratch statistics accumulated since the
+    /// last call (see [`crate::inference::KernelStats`]). The runtime drains
+    /// these per event into the telemetry registry.
+    pub fn take_kernel_stats(&self) -> crate::inference::KernelStats {
+        self.counters.take_kernel_stats()
+    }
+
     /// The burst detector state.
     pub fn in_burst(&self) -> bool {
         self.detector.in_burst()

@@ -54,18 +54,22 @@ pub fn fit_score_value(ws: f64, ps: f64, config: &InferenceConfig) -> f64 {
 }
 
 /// Scores a single link.
+///
+/// Reads `W(l)` and `P(l)` with one index probe ([`LinkCounters::wp`]); the
+/// share-by-share form ([`withdrawal_share`] + [`path_share`]) pays three
+/// probes for the same entry and survives only as the definitional reference.
 pub fn score_link(counters: &LinkCounters, link: &AsLink, config: &InferenceConfig) -> Score {
-    let ws = withdrawal_share(counters, link);
-    let ps = path_share(counters, link);
-    Score {
-        ws,
-        ps,
-        fs: fit_score_value(ws, ps, config),
-    }
+    let (w, p) = counters.wp(link);
+    score_from_counts(w, p, counters.total_withdrawals(), config)
 }
 
 /// Builds a [`Score`] from raw `(W(S), P(S), W(t))` counts.
-fn score_from_counts(w: usize, p: usize, total: usize, config: &InferenceConfig) -> Score {
+pub(crate) fn score_from_counts(
+    w: usize,
+    p: usize,
+    total: usize,
+    config: &InferenceConfig,
+) -> Score {
     let ws = if total == 0 {
         0.0
     } else {
@@ -89,14 +93,29 @@ fn score_from_counts(w: usize, p: usize, total: usize, config: &InferenceConfig)
 /// `PS(S) = W(S) / (W(S) + P(S))`, where `W(S)`/`P(S)` count each prefix once
 /// even if its path crosses several links of the set.
 ///
-/// Both union counts come from the inverted prefix-bitset index in one pass —
-/// `O(|links| × id-space words)` regardless of the RIB size.
+/// Both union counts come from one fused streaming pass over the inverted
+/// prefix-bitset index ([`LinkCounters::union_counts`]): no materialised
+/// union, no per-call heap allocation, empty id regions skipped via the
+/// dense sets' chunk summaries.
 pub fn score_link_set(
     counters: &LinkCounters,
     links: &[AsLink],
     config: &InferenceConfig,
 ) -> Score {
     let (w, p) = counters.union_counts(links);
+    score_from_counts(w, p, counters.total_withdrawals(), config)
+}
+
+/// Reference implementation of [`score_link_set`] over the materialised-union
+/// path ([`LinkCounters::union_counts_materialized`]) — the pre-kernel hot
+/// path, kept for the equivalence property tests and as the baseline the
+/// `bench_inference` kernel groups measure the fused pass against.
+pub fn score_link_set_materialized(
+    counters: &LinkCounters,
+    links: &[AsLink],
+    config: &InferenceConfig,
+) -> Score {
+    let (w, p) = counters.union_counts_materialized(links);
     score_from_counts(w, p, counters.total_withdrawals(), config)
 }
 

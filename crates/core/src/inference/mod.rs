@@ -24,15 +24,19 @@ pub mod burst_detect;
 pub mod counters;
 pub mod engine;
 pub mod fit_score;
+pub mod kernels;
 pub mod predictor;
 
-pub use aggregate::{infer_links, infer_links_ranked, infer_links_scan, InferredLinks};
+pub use aggregate::{
+    infer_links, infer_links_materialized, infer_links_ranked, infer_links_scan, InferredLinks,
+};
 pub use bitset::IdBitSet;
 pub use burst_detect::{BurstDetector, BurstEvent, WindowHistory};
 pub use counters::LinkCounters;
 pub use engine::{EngineStatus, InferenceEngine, InferenceResult};
 pub use fit_score::{
-    fit_score_value, path_share, rank_links, score_link, score_link_set, score_link_set_scan,
-    withdrawal_share, LinkRanker, Score,
+    fit_score_value, path_share, rank_links, score_link, score_link_set,
+    score_link_set_materialized, score_link_set_scan, withdrawal_share, LinkRanker, Score,
 };
+pub use kernels::{fused_union_counts, KernelStats, ScoreScratch};
 pub use predictor::{predict, predict_scan, predicted_prefixes, Prediction};

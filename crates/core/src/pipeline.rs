@@ -63,6 +63,11 @@ impl SessionEngine {
         &self.engine
     }
 
+    /// Drains the engine's kernel dispatch/scratch statistics (telemetry).
+    pub fn take_kernel_stats(&self) -> crate::inference::KernelStats {
+        self.engine.take_kernel_stats()
+    }
+
     /// Processes one of this session's per-prefix events.
     pub fn process(&mut self, event: &ElementaryEvent) -> (EngineStatus, Option<InferenceResult>) {
         self.engine.process(event)

@@ -1,0 +1,224 @@
+//! Property tests for the fused bitset kernels behind the inference scorer:
+//! on random RIBs, event streams, burst boundaries and representation mixes,
+//! the single-pass fused `(w, p)` kernel must equal both the materialized
+//! union it replaced and the naive full-scan reference; the incremental
+//! greedy aggregation must select the same link sets as the recompute
+//! baselines; and the dense chunk-summary bitmap must stay consistent with
+//! the words it summarizes through every mutation.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use swift_bgp::{AsLink, AsPath, Prefix};
+use swift_core::inference::{
+    fused_union_counts, infer_links, infer_links_materialized, infer_links_scan, IdBitSet,
+    LinkCounters, ScoreScratch,
+};
+use swift_core::InferenceConfig;
+
+/// A random AS path over a tiny AS universe (1..12) so paths collide on links.
+fn arb_path() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(1u32..12, 0..5)
+}
+
+/// Random RIB entries: (prefix index, hops).
+fn arb_rib() -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
+    proptest::collection::vec((0u32..80, arb_path()), 0..60)
+}
+
+/// Random events: (is_withdraw, prefix index, hops-if-announce).
+fn arb_events() -> impl Strategy<Value = Vec<(bool, u32, Vec<u32>)>> {
+    proptest::collection::vec((any::<bool>(), 0u32..80, arb_path()), 0..120)
+}
+
+fn p(i: u32) -> Prefix {
+    Prefix::nth_slash24(i)
+}
+
+fn build(rib: &[(u32, Vec<u32>)], events: &[(bool, u32, Vec<u32>)]) -> LinkCounters {
+    let seed: Vec<(Prefix, AsPath)> = rib
+        .iter()
+        .map(|(i, hops)| (p(*i), AsPath::new(hops.iter().copied())))
+        .collect();
+    let mut c = LinkCounters::from_rib(seed.iter().map(|(a, b)| (a, b)));
+    for (withdraw, i, hops) in events {
+        if *withdraw {
+            c.on_withdraw(p(*i));
+        } else {
+            c.on_announce_path(p(*i), &AsPath::new(hops.iter().copied()));
+        }
+    }
+    c
+}
+
+/// Checks `union_counts` (fused) == `union_counts_materialized` (scratch
+/// union + two intersections) == the full-RIB scans, over single links,
+/// multi-link sets, the all-links set and unknown/empty sets.
+fn check_kernel_equivalences(c: &LinkCounters) -> Result<(), String> {
+    let links: Vec<AsLink> = c.all_links().copied().collect();
+    let mut sets: Vec<Vec<AsLink>> = links.iter().map(|l| vec![*l]).collect();
+    sets.push(links.clone());
+    for chunk in links.chunks(3) {
+        sets.push(chunk.to_vec());
+    }
+    sets.push(vec![AsLink::new(900, 901)]);
+    sets.push(Vec::new());
+    for set in &sets {
+        let fused = c.union_counts(set);
+        let materialized = c.union_counts_materialized(set);
+        let scan = (c.w_union_scan(set), c.p_union_scan(set));
+        if fused != materialized {
+            return Err(format!(
+                "fused {fused:?} != materialized {materialized:?} on {set:?}"
+            ));
+        }
+        if fused != scan {
+            return Err(format!("fused {fused:?} != scan {scan:?} on {set:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// One random bitset: a set of ids plus a flag forcing the dense
+/// representation from birth (so the kernels see every sparse/dense mix,
+/// not just what organic promotion produces).
+fn arb_bitset() -> impl Strategy<Value = (Vec<u32>, bool)> {
+    (proptest::collection::vec(0u32..6_000, 0..50), any::<bool>())
+}
+
+fn bitset_of(ids: &[u32], force_dense: bool) -> IdBitSet {
+    let mut s = if force_dense {
+        // A zero-capacity dense set: promotion is one-way, so this pins the
+        // word-packed form no matter how few ids follow.
+        IdBitSet::with_capacity(0)
+    } else {
+        IdBitSet::new()
+    };
+    for &id in ids {
+        s.set(id);
+    }
+    s
+}
+
+/// An op sequence for the summary-invariant test: (op selector, id).
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u32)>> {
+    proptest::collection::vec((0u8..4, 0u32..6_000), 0..120)
+}
+
+proptest! {
+    /// The fused single-pass kernel, the materialized-union path and the
+    /// naive scans agree on arbitrary RIBs and event streams.
+    #[test]
+    fn fused_matches_materialized_and_scan(rib in arb_rib(), events in arb_events()) {
+        let c = build(&rib, &events);
+        if let Err(msg) = check_kernel_equivalences(&c) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    /// The three-way agreement survives a burst boundary (start_burst purges
+    /// and replays into reused scratch state) and keeps holding afterwards.
+    #[test]
+    fn fused_matches_across_burst_boundaries(
+        rib in arb_rib(),
+        events in arb_events(),
+        window in proptest::collection::vec(0u32..90, 0..30),
+        tail in arb_events(),
+    ) {
+        let mut c = build(&rib, &events);
+        c.start_burst(window.iter().map(|i| p(*i)));
+        if let Err(msg) = check_kernel_equivalences(&c) {
+            prop_assert!(false, "after start_burst: {}", msg);
+        }
+        for (withdraw, i, hops) in &tail {
+            if *withdraw {
+                c.on_withdraw(p(*i));
+            } else {
+                c.on_announce_path(p(*i), &AsPath::new(hops.iter().copied()));
+            }
+        }
+        if let Err(msg) = check_kernel_equivalences(&c) {
+            prop_assert!(false, "after post-burst events: {}", msg);
+        }
+    }
+
+    /// The incremental greedy aggregation (running-union trials) selects the
+    /// same links as recomputing each trial set from scratch — against both
+    /// the materialized-union and full-scan scorers.
+    #[test]
+    fn incremental_greedy_matches_recompute(rib in arb_rib(), events in arb_events()) {
+        let c = build(&rib, &events);
+        let cfg = InferenceConfig::default();
+        let fused = infer_links(&c, &cfg);
+        let materialized = infer_links_materialized(&c, &cfg);
+        let scan = infer_links_scan(&c, &cfg);
+        prop_assert_eq!(&fused.links, &materialized.links);
+        prop_assert_eq!(&fused.links, &scan.links);
+        prop_assert_eq!(fused.score, materialized.score);
+    }
+
+    /// The raw kernel equals a BTreeSet model on arbitrary sparse/dense
+    /// representation mixes of sources and masks, and scratch reuse across
+    /// calls never changes an answer.
+    #[test]
+    fn kernel_matches_model_on_rep_mixes(
+        sources in proptest::collection::vec(arb_bitset(), 0..6),
+        withdrawn in arb_bitset(),
+        routed in arb_bitset(),
+    ) {
+        let sets: Vec<IdBitSet> =
+            sources.iter().map(|(ids, dense)| bitset_of(ids, *dense)).collect();
+        let refs: Vec<&IdBitSet> = sets.iter().collect();
+        let wmask = bitset_of(&withdrawn.0, withdrawn.1);
+        let rmask = bitset_of(&routed.0, routed.1);
+        let union: BTreeSet<u32> = sources.iter().flat_map(|(ids, _)| ids.iter().copied()).collect();
+        let want = (
+            union.iter().filter(|&&id| wmask.test(id)).count(),
+            union.iter().filter(|&&id| rmask.test(id)).count(),
+        );
+        let mut scratch = ScoreScratch::new();
+        prop_assert_eq!(fused_union_counts(&refs, &wmask, &rmask, &mut scratch), want);
+        // Second pass through the now-warm scratch: same answer.
+        prop_assert_eq!(fused_union_counts(&refs, &wmask, &rmask, &mut scratch), want);
+    }
+
+    /// The dense chunk-summary bitmap stays consistent with the words it
+    /// summarizes through arbitrary insert/remove/union/clear_all sequences,
+    /// and the set's contents track a BTreeSet model throughout.
+    #[test]
+    fn summary_invariant_survives_mutation(
+        start_dense in any::<bool>(),
+        ops in arb_ops(),
+        other in arb_bitset(),
+    ) {
+        let mut s = bitset_of(&[], start_dense);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        let union_src = bitset_of(&other.0, other.1);
+        for (op, id) in ops {
+            match op {
+                0 => {
+                    s.set(id);
+                    model.insert(id);
+                }
+                1 => {
+                    s.clear(id);
+                    model.remove(&id);
+                }
+                2 => {
+                    s.union_with(&union_src);
+                    model.extend(other.0.iter().copied());
+                }
+                _ => {
+                    s.clear_all();
+                    model.clear();
+                }
+            }
+            if let Err(msg) = s.check_summary_invariant() {
+                prop_assert!(false, "after op {op} id {id}: {msg}");
+            }
+            prop_assert_eq!(s.count(), model.len());
+        }
+        let ids: Vec<u32> = s.ids().collect();
+        let want: Vec<u32> = model.into_iter().collect();
+        prop_assert_eq!(ids, want);
+    }
+}

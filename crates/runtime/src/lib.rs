@@ -407,6 +407,9 @@ struct Inline {
     /// Registry counter `ingest.events` — one relaxed add per inline event,
     /// so live snapshots work in both modes.
     events_ctr: Counter,
+    /// Kernel-dispatch and scratch counters, drained per event (the same
+    /// global names the shard workers feed).
+    kernels: worker::KernelCounters,
 }
 
 enum Mode {
@@ -461,6 +464,7 @@ impl ShardedRuntime {
         if config.shards == 0 {
             let applier = Applier::new(swift.clone(), table, policy);
             let events_ctr = registry.counter("ingest.events");
+            let kernels = worker::KernelCounters::from_registry(&registry);
             return ShardedRuntime {
                 config,
                 swift,
@@ -468,6 +472,7 @@ impl ShardedRuntime {
                     engines,
                     applier,
                     events_ctr,
+                    kernels,
                 }))),
                 events: 0,
                 started,
@@ -558,6 +563,7 @@ impl ShardedRuntime {
                 clock: Arc::clone(&clock),
                 events_ctr: registry.counter(&format!("shard.{i}.events")),
                 batches_ctr: registry.counter(&format!("shard.{i}.batches")),
+                kernels: worker::KernelCounters::from_registry(&registry),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("swift-shard-{i}"))
@@ -684,6 +690,7 @@ impl ShardedRuntime {
                     if let (EngineStatus::Accepted, Some(result)) = engine.process(&event) {
                         inline.applier.apply_inference(peer, &result);
                     }
+                    inline.kernels.record(engine.take_kernel_stats());
                 }
             }
             Mode::Sharded(sharded) => {

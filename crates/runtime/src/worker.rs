@@ -28,9 +28,56 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use swift_bgp::{Asn, ElementaryEvent, PeerId, Prefix, Route};
 use swift_core::encoding::PrefixPartitioner;
-use swift_core::inference::{EngineStatus, InferenceResult};
+use swift_core::inference::{EngineStatus, InferenceResult, KernelStats};
 use swift_core::pipeline::{Applier, SessionEngine};
-use swift_telemetry::{Counter, Gauge, LogHistogram, StageHistograms, TraceStamp};
+use swift_telemetry::{Counter, Gauge, LogHistogram, Registry, StageHistograms, TraceStamp};
+
+/// Registry handles for the inference-kernel telemetry: the fused-pass
+/// dispatch mix (`inference.kernel.{dense,sparse,mixed}`) and scratch-buffer
+/// behaviour (`inference.scratch.{reuse,growth}`). The names are global (not
+/// per-shard): every worker clones handles onto the same atomic storage, so a
+/// registry snapshot reports the whole runtime's mix.
+#[derive(Clone)]
+pub(crate) struct KernelCounters {
+    pub dense: Counter,
+    pub sparse: Counter,
+    pub mixed: Counter,
+    pub scratch_reuse: Counter,
+    pub scratch_growth: Counter,
+}
+
+impl KernelCounters {
+    pub(crate) fn from_registry(registry: &Registry) -> Self {
+        KernelCounters {
+            dense: registry.counter("inference.kernel.dense"),
+            sparse: registry.counter("inference.kernel.sparse"),
+            mixed: registry.counter("inference.kernel.mixed"),
+            scratch_reuse: registry.counter("inference.scratch.reuse"),
+            scratch_growth: registry.counter("inference.scratch.growth"),
+        }
+    }
+
+    /// Folds one engine's drained [`KernelStats`] into the registry. Most
+    /// events run zero kernel passes (no inference attempt), so the common
+    /// case is five skipped adds.
+    pub(crate) fn record(&self, stats: KernelStats) {
+        if stats.dense > 0 {
+            self.dense.add(stats.dense);
+        }
+        if stats.sparse > 0 {
+            self.sparse.add(stats.sparse);
+        }
+        if stats.mixed > 0 {
+            self.mixed.add(stats.mixed);
+        }
+        if stats.scratch_reuse > 0 {
+            self.scratch_reuse.add(stats.scratch_reuse);
+        }
+        if stats.scratch_growth > 0 {
+            self.scratch_growth.add(stats.scratch_growth);
+        }
+    }
+}
 
 /// One ingested event on its way to a shard.
 #[derive(Debug)]
@@ -185,6 +232,8 @@ pub(crate) struct ShardWorker {
     pub events_ctr: Counter,
     /// Registry counter `shard.N.batches`.
     pub batches_ctr: Counter,
+    /// Global kernel-dispatch and scratch counters, drained per event.
+    pub kernels: KernelCounters,
 }
 
 /// Counts a batch into the applier's depth gauges and sends it. `Err` means
@@ -214,6 +263,7 @@ pub(crate) fn shard_loop(w: ShardWorker) -> ShardWorkerReport {
         clock,
         events_ctr,
         batches_ctr,
+        kernels,
     } = w;
     let sessions = engines.len();
     let mut latency = LogHistogram::new();
@@ -244,10 +294,14 @@ pub(crate) fn shard_loop(w: ShardWorker) -> ShardWorkerReport {
                         stages.queue_wait.record(stamp.advance(clock.precise()));
                     }
                     let result = match engines.get_mut(&peer) {
-                        Some(engine) => match engine.process(&event) {
-                            (EngineStatus::Accepted, Some(result)) => Some(result),
-                            _ => None,
-                        },
+                        Some(engine) => {
+                            let verdict = match engine.process(&event) {
+                                (EngineStatus::Accepted, Some(result)) => Some(result),
+                                _ => None,
+                            };
+                            kernels.record(engine.take_kernel_stats());
+                            verdict
+                        }
                         // Unknown session: no engine, but the event still
                         // reaches the applier's routing table — exactly the
                         // single-threaded router's behaviour.
